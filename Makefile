@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench scorecard examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benches with the reproduced tables/figures printed.
+bench-show:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+scorecard:
+	$(PYTHON) -m repro scorecard
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench scorecard
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

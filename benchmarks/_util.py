@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper, prints
+the reproduced artefact (run pytest with ``-s`` to see it) and asserts the
+paper-matching properties so a silent regression cannot slip through.
+"""
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced artefact with a banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,64 @@
+"""Ablation bench: each defence alone vs both combined.
+
+§VI: "our experiments show that using both techniques together is a very
+effective way to protect against the majority of spam."  Runs every family
+against NONE / NOLISTING / GREYLISTING / BOTH and tabulates who gets
+through where.
+"""
+
+from repro.analysis.tables import mark, render_table
+from repro.botnet.families import FAMILIES
+from repro.botnet.samples import samples_of
+from repro.core.defense_matrix import run_sample
+from repro.core.testbed import Defense
+
+from _util import emit
+
+DEFENSES = (Defense.NONE, Defense.NOLISTING, Defense.GREYLISTING, Defense.BOTH)
+
+
+def run_grid():
+    grid = {}
+    for family in FAMILIES:
+        sample = samples_of(family.name)[0]
+        for defense in DEFENSES:
+            run = run_sample(sample, defense, recipients=3)
+            grid[(family.name, defense)] = run
+    return grid
+
+
+def test_ablation_combined_defenses(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = render_table(
+        headers=("Family", "none", "nolisting", "greylisting", "both"),
+        rows=[
+            (
+                family.name,
+                mark(grid[(family.name, Defense.NONE)].blocked),
+                mark(grid[(family.name, Defense.NOLISTING)].blocked),
+                mark(grid[(family.name, Defense.GREYLISTING)].blocked),
+                mark(grid[(family.name, Defense.BOTH)].blocked),
+            )
+            for family in FAMILIES
+        ],
+        title="Blocked? (YES = no spam delivered) per family per defence",
+    )
+    emit("Ablation — defence combinations", table)
+
+    for family in FAMILIES:
+        # Sanity: with no defence every family delivers.
+        assert not grid[(family.name, Defense.NONE)].blocked, family.name
+        # The combination blocks all four families.
+        assert grid[(family.name, Defense.BOTH)].blocked, family.name
+        # And each single defence misses at least one family (so neither
+        # alone is sufficient).
+
+    nolisting_misses = [
+        f.name for f in FAMILIES if not grid[(f.name, Defense.NOLISTING)].blocked
+    ]
+    greylisting_misses = [
+        f.name for f in FAMILIES if not grid[(f.name, Defense.GREYLISTING)].blocked
+    ]
+    assert nolisting_misses == ["Cutwail", "Darkmailer", "Darkmailer(v3)"]
+    assert greylisting_misses == ["Kelihos"]

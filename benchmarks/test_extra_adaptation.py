@@ -1,0 +1,52 @@
+"""Extension bench: the Results-Validity adaptation sweep.
+
+"The effectiveness of these two techniques can change in the future and it
+is important to know when they will become obsolete" — this bench sweeps
+ecosystems with growing fractions of fully-adapted malware and reports the
+coverage frontier.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_percent, render_table
+from repro.core.adaptation import obsolescence_level, sweep_adaptation
+
+from _util import emit
+
+
+def run_sweep():
+    return sweep_adaptation(levels=(0.0, 0.1, 0.25, 0.5, 0.75, 1.0))
+
+
+def test_adaptation_sweep(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = render_table(
+        headers=("Adapted", "Greylisting", "Nolisting", "Combined"),
+        rows=[
+            (
+                f"{p.adaptation:.0%}",
+                format_percent(p.greylisting_coverage),
+                format_percent(p.nolisting_coverage),
+                format_percent(p.combined_coverage),
+            )
+            for p in points
+        ],
+        title="Spam coverage as malware adapts to the defences",
+    )
+    emit("Adaptation — obsolescence frontier", table)
+
+    # 2015 status quo: the combination covers everything, each alone less.
+    start = points[0]
+    assert start.combined_coverage == pytest.approx(1.0)
+    assert start.greylisting_coverage < 1.0
+    assert start.nolisting_coverage < 1.0
+
+    # Coverage decays monotonically as the ecosystem adapts ...
+    combined = [p.combined_coverage for p in points]
+    assert combined == sorted(combined, reverse=True)
+    # ... down to zero for a fully adapted ecosystem.
+    assert combined[-1] == 0.0
+
+    # The "not worth paying the price anymore" point, for a 50% floor.
+    assert obsolescence_level(points, floor=0.5) == 0.75

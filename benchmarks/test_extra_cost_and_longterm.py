@@ -1,0 +1,77 @@
+"""Extension bench: greylisting resource costs and long-term stability.
+
+§VI: the techniques "have a cost for the system (disk space and
+computation resources) and for the Internet community at large (increased
+traffic and bandwidth)".  This bench prices a four-month deployment at
+several thresholds, and checks the Sochor-style long-term finding that
+effectiveness stays flat over the window.
+"""
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.core.longterm import run_longterm_analysis
+from repro.greylist.cost import measure_cost
+from repro.maillog.university import DeploymentConfig, UniversityDeployment
+
+from _util import emit
+
+THRESHOLDS = (5.0, 300.0, 21600.0)
+
+
+def run_all():
+    costs = []
+    for threshold in THRESHOLDS:
+        config = DeploymentConfig(threshold=threshold, num_messages=1000)
+        result = UniversityDeployment(config, seed=5).run()
+        costs.append((threshold, measure_cost(result.policy), result))
+    longterm = run_longterm_analysis(num_messages=1500)
+    return costs, longterm
+
+
+def test_cost_and_longterm(benchmark):
+    costs, longterm = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = render_table(
+        headers=(
+            "Threshold",
+            "Decisions",
+            "Deferrals",
+            "Extra connections/delivery",
+            "Extra KiB",
+            "Triplet DB KiB",
+        ),
+        rows=[
+            (
+                format_seconds(threshold),
+                report.decisions,
+                report.deferrals,
+                f"{report.extra_connections_per_delivery:.2f}",
+                f"{report.extra_bytes / 1024:.1f}",
+                f"{report.db_bytes / 1024:.1f}",
+            )
+            for threshold, report, _ in costs
+        ],
+        title="Greylisting cost of a 4-month, 1000-message deployment",
+    )
+    emit("Cost — what the §VI price tag looks like", table)
+
+    # Higher thresholds force more deferrals -> more induced traffic.
+    deferrals = [report.deferrals for _, report, _ in costs]
+    assert deferrals[0] <= deferrals[1] <= deferrals[2]
+    extra = [report.extra_bytes for _, report, _ in costs]
+    assert extra[0] <= extra[2]
+    # Every configuration pays a non-trivial connection overhead.
+    for _, report, _ in costs:
+        assert report.extra_connections_per_delivery >= 1.0
+        assert report.db_entries > 0
+
+    # Long-term stability: weekly delivery rate flat over four months.
+    emit(
+        "Long-term — weekly delivery rate",
+        "\n".join(
+            f"  week {i:>2}: {b.rate:.2f} ({b.count} messages)"
+            for i, b in enumerate(longterm.weekly_delivery)
+            if b.rate is not None
+        ),
+    )
+    assert longterm.weeks_observed >= 16
+    assert longterm.delivery_stability < 0.15

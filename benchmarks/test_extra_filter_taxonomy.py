@@ -1,0 +1,68 @@
+"""Extension bench: the intro's pre- vs post-acceptance taxonomy, priced.
+
+Greylisting (pre-acceptance, sender-based) and Bayesian content filtering
+(post-acceptance, content-based) on the same mixed traffic: who blocks
+what, who delays whom, and who pays the bandwidth.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.core.filter_comparison import compare_filtering
+
+from _util import emit
+
+
+def test_filter_taxonomy(benchmark):
+    results = benchmark.pedantic(
+        lambda: compare_filtering(spam_messages=30, benign_messages=30),
+        rounds=1,
+        iterations=1,
+    )
+    by_config = {r.configuration: r for r in results}
+
+    table = render_table(
+        headers=(
+            "Configuration",
+            "Spam blocked",
+            "Benign delivered",
+            "Benign mean delay",
+            "Spam bytes on the wire",
+        ),
+        rows=[
+            (
+                r.configuration,
+                f"{r.spam_block_rate:.0%}",
+                f"{r.benign_delivered}/{r.benign_sent}",
+                format_seconds(r.benign_mean_delay),
+                r.spam_bytes_received,
+            )
+            for r in results
+        ],
+        title="Mixed traffic: retrying + fire-and-forget spam, postfix benign",
+    )
+    emit("Taxonomy — pre-acceptance vs post-acceptance filtering", table)
+
+    greylist = by_config["greylist"]
+    content = by_config["content"]
+    both = by_config["both"]
+
+    # Greylisting blocks exactly the fire-and-forget half, spending zero
+    # bandwidth on it; retrying spam gets through.
+    assert greylist.spam_block_rate == pytest.approx(0.5)
+
+    # The content filter blocks everything on this template corpus, but
+    # only after every spam body crossed the wire.
+    assert content.spam_block_rate == 1.0
+    assert content.spam_bytes_received > both.spam_bytes_received
+
+    # Stacked: full blocking at reduced bandwidth, plus greylisting's
+    # benign delay — the trade-off in one row.
+    assert both.spam_block_rate == 1.0
+    assert both.benign_mean_delay >= 300.0
+    assert content.benign_mean_delay == 0.0
+
+    # Nothing benign lost anywhere.
+    for r in results:
+        assert r.benign_delivered == r.benign_sent
+        assert r.benign_false_positives == 0

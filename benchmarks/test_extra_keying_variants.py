@@ -1,0 +1,58 @@
+"""Extension bench: greylisting keying variants (Sochor's variant space).
+
+Compares what the greylisting database keys on — full triplet, /24
+triplet, sender-domain, client-only — along the three axes the choice
+moves: sender-rotation resistance, provider-farm tolerance, and database
+load.
+"""
+
+import math
+
+from repro.analysis.tables import format_seconds, mark, render_table
+from repro.core.variants import compare_variants
+from repro.greylist.keying import KeyStrategy
+
+from _util import emit
+
+
+def test_keying_variants(benchmark):
+    results = benchmark(compare_variants)
+    by_strategy = {r.strategy: r for r in results}
+
+    def farm_cell(delay):
+        return "never" if math.isinf(delay) else format_seconds(delay)
+
+    table = render_table(
+        headers=(
+            "Key strategy",
+            "Stops rotating spam",
+            "Spam delivered",
+            "Farm delay",
+            "DB entries",
+        ),
+        rows=[
+            (
+                r.strategy.value,
+                mark(r.rotation_resistant),
+                f"{r.rotating_spam_delivered}/20",
+                farm_cell(r.farm_delivery_delay),
+                r.db_entries_under_rotation,
+            )
+            for r in results
+        ],
+        title="Greylisting variants: rotation resistance vs tolerance vs cost",
+    )
+    emit("Variants — what to key greylisting on", table)
+
+    # The classic triplet is the only rotation-resistant exact-IP variant,
+    # at the price of the largest database.
+    full = by_strategy[KeyStrategy.FULL_TRIPLET]
+    client_only = by_strategy[KeyStrategy.CLIENT_ONLY]
+    assert full.rotation_resistant
+    assert not client_only.rotation_resistant
+    assert full.db_entries_under_rotation > client_only.db_entries_under_rotation
+
+    # /24 keying is the only variant that spares rotating provider farms.
+    net = by_strategy[KeyStrategy.CLIENT_NET_TRIPLET]
+    assert net.farm_delivery_delay < full.farm_delivery_delay
+    assert net.rotation_resistant

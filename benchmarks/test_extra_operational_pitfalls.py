@@ -1,0 +1,86 @@
+"""Extension bench: operational pitfalls of the two techniques (§II / §VI).
+
+Three quantified footnotes of the paper:
+
+* nolisting costs nothing for compliant senders but silently loses the
+  mail of primary-only notifier scripts;
+* greylisting behind a load-balanced MX farm needs a *shared* triplet
+  store, or delays multiply;
+* the triplet database's size is controlled by the spammers (rotating
+  senders mint fresh triplets), so expiry sweeps are not optional.
+"""
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.core.cost_attack import compare_sweeping
+from repro.core.multimx_greylist import compare_store_sharing
+from repro.core.nolisting_impact import run_nolisting_impact
+
+from _util import emit
+
+
+def run_all():
+    impact = run_nolisting_impact()
+    multimx = compare_store_sharing(num_messages=30)
+    db_growth = compare_sweeping(duration_days=10.0)
+    return impact, multimx, db_growth
+
+
+def test_operational_pitfalls(benchmark):
+    impact, multimx, db_growth = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    table = render_table(
+        headers=("Sender class", "Delivered", "Lost", "Max delay"),
+        rows=[
+            (
+                name,
+                f"{o.delivered}/{o.messages}",
+                o.lost,
+                format_seconds(o.max_delay),
+            )
+            for name, o in sorted(impact.outcomes.items())
+        ],
+        title="Benign senders through a nolisted domain",
+    )
+    emit("Pitfall 1 — nolisting vs primary-only notifiers", table)
+
+    per_host, shared = multimx
+    table = render_table(
+        headers=("Triplet store", "Mean delay", "Max delay", "Deferrals"),
+        rows=[
+            (
+                "per-MX-host" if not r.shared_store else "shared",
+                format_seconds(r.mean_delay),
+                format_seconds(r.max_delay),
+                r.total_deferrals,
+            )
+            for r in multimx
+        ],
+        title="Compliant postfix senders vs a 2-host equal-preference farm",
+    )
+    emit("Pitfall 2 — greylisting behind MX load balancing", table)
+
+    unswept, swept = db_growth
+    table = render_table(
+        headers=("Cleanup", "Peak entries", "Final entries", "Peak KiB"),
+        rows=[
+            ("none", unswept.peak_entries, unswept.final_entries,
+             f"{unswept.peak_bytes / 1024:.0f}"),
+            ("daily sweep", swept.peak_entries, swept.final_entries,
+             f"{swept.peak_bytes / 1024:.0f}"),
+        ],
+        title="Triplet DB under 500 rotating-sender spam/day for 10 days",
+    )
+    emit("Pitfall 3 — spammer-controlled database growth", table)
+
+    # Pitfall 1: compliant mail untouched, notifiers wiped out.
+    assert impact.compliant_loss == 0
+    assert impact.notifier_outcome.delivered == 0
+
+    # Pitfall 2: per-host stores strictly worse.
+    assert per_host.mean_delay > shared.mean_delay
+    assert per_host.total_deferrals > shared.total_deferrals
+
+    # Pitfall 3: sweeping bounds the database.
+    assert swept.peak_entries < unswept.peak_entries / 2

@@ -1,0 +1,31 @@
+"""Bench: regenerate Table I (malware families, spam shares, sample counts)."""
+
+import pytest
+
+from repro.botnet.families import (
+    FAMILIES,
+    TOTAL_BOTNET_SPAM_SHARE,
+    TOTAL_GLOBAL_SPAM_SHARE,
+)
+from repro.botnet.samples import collect_samples
+from repro.core.reports import table1_text
+
+from _util import emit
+
+
+def build_table1():
+    samples = collect_samples()
+    return table1_text(), samples
+
+
+def test_table1_samples(benchmark):
+    text, samples = benchmark(build_table1)
+    emit("Table I — Malware samples used in our experiments", text)
+
+    # Paper: 11 samples, 4 families, 93.02% of botnet spam, 70.69% global.
+    assert len(samples) == 11
+    assert len(FAMILIES) == 4
+    assert TOTAL_BOTNET_SPAM_SHARE == pytest.approx(0.9302)
+    assert TOTAL_GLOBAL_SPAM_SHARE == pytest.approx(0.7069)
+    assert "46.90%" in text and "36.33%" in text
+    assert "7.21%" in text and "2.58%" in text

@@ -1,0 +1,36 @@
+"""Bench: regenerate Table IV (default MTA retransmission schedules)."""
+
+import pytest
+
+from repro.core.mta_survey import run_mta_survey
+from repro.core.reports import table4_text
+
+from _util import emit
+
+#: Paper rows: mta -> (first three retransmissions in minutes, queue days).
+PAPER_ROWS = {
+    "sendmail": ([10, 20, 30], 5),
+    "exim": ([15, 30, 45], 4),
+    "postfix": ([5, 10, 15], 5),
+    "qmail": ([6.67, 26.67, 60], 7),
+    "courier": ([5, 10, 15], 7),
+    "exchange": ([15, 30, 45], 2),
+}
+
+
+def test_table4_mta_schedules(benchmark):
+    rows = benchmark(run_mta_survey)
+    emit("Table IV — Retransmission time of popular MTA servers", table4_text(rows))
+
+    assert [r.mta for r in rows] == list(PAPER_ROWS)
+    for row in rows:
+        first_three, days = PAPER_ROWS[row.mta]
+        assert row.retransmission_minutes[:3] == pytest.approx(
+            first_three, abs=0.01
+        ), row.mta
+        assert row.max_queue_days == days, row.mta
+
+    # "Exchange was the only MTA not RFC-822 compliant with respect to the
+    # time-to-live."
+    violators = [r.mta for r in rows if not r.rfc_compliant_lifetime]
+    assert violators == ["exchange"]

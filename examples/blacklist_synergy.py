@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Greylisting x blacklisting synergy: the §II rebuttal, measured.
+
+Kelihos retries through greylisting (Figure 3) and outruns a reactive
+blacklist's listing latency when it delivers on the first attempt.  The
+pro-greylisting argument is that *stacked*, the greylist's forced delay
+gives the blacklist time to list the sender.  This example measures the
+three configurations and then asks the operational questions: how fast
+must the ecosystem notice a spammer, and how long a threshold buys enough
+time?
+
+Run:  python examples/blacklist_synergy.py
+"""
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.core.synergy import (
+    run_synergy_comparison,
+    sweep_greylist_delay,
+    sweep_listing_speed,
+)
+
+
+def main() -> None:
+    print("running Kelihos against greylisting / DNSBL / both ...\n")
+    results = run_synergy_comparison()
+    print(
+        render_table(
+            headers=("Configuration", "Spam delivered", "DNSBL rejections",
+                     "Bot listed after"),
+            rows=[
+                (
+                    r.configuration,
+                    f"{r.delivered}/{r.num_messages}",
+                    r.dnsbl_rejections,
+                    format_seconds(r.listed_after) if r.listed_after else "-",
+                )
+                for r in results
+            ],
+            title="Each defence alone fails; the stack blocks everything",
+        )
+    )
+
+    print("\nhow fast must the ecosystem report the spammer? "
+          "(stacked, 300s threshold)")
+    for r in sweep_listing_speed(rates_per_hour=(2.0, 20.0, 60.0, 200.0)):
+        verdict = "BLOCKED" if r.blocked else f"{r.delivery_rate:.0%} delivered"
+        print(f"  {r.reports_per_hour:>6.0f} reports/hour -> {verdict} "
+              f"(listed after {format_seconds(r.listed_after)})")
+
+    print("\nor: how long a greylisting delay buys a slow blacklist time? "
+          "(60 reports/hour)")
+    for r in sweep_greylist_delay(delays=(5.0, 300.0, 3600.0, 21600.0)):
+        verdict = "BLOCKED" if r.blocked else f"{r.delivery_rate:.0%} delivered"
+        print(f"  threshold {format_seconds(r.greylist_delay):>7} -> {verdict}")
+
+    print(
+        "\nreading: against fast-retrying malware, greylisting's delay only\n"
+        "pays off in combination with reputation systems — and the required\n"
+        "threshold is exactly the blacklist's reaction time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The malware-vs-defences study: Tables I-II and the §VI coverage headline.
+
+Runs all 11 malware samples (four families) against servers protected by
+greylisting and by nolisting, classifies each family's MX behaviour, and
+computes how much of the world's spam each defence — and the combination —
+stops.
+
+Run:  python examples/botnet_vs_defenses.py
+"""
+
+from repro.botnet.samples import collect_samples
+from repro.core.coverage import build_coverage_report
+from repro.core.defense_matrix import build_defense_matrix
+from repro.core.mx_classifier import classify_sample
+from repro.core.reports import table1_text, table2_text
+
+
+def main() -> None:
+    print(table1_text())
+
+    print("\nclassifying each sample's MX-selection behaviour "
+          "(dead-MX observation domain) ...")
+    for sample in collect_samples():
+        result = classify_sample(sample)
+        trace = " -> ".join(dict.fromkeys(result.contacted)) or "(nothing)"
+        print(f"  {result.sample_label:<24} {result.inferred.value:<16} "
+              f"contacted: {trace}")
+
+    print("\nrunning all samples against greylisting (300s) and nolisting ...")
+    matrix = build_defense_matrix(recipients=3)
+    print()
+    print(table2_text(matrix))
+
+    report = build_coverage_report(matrix)
+    print("\nglobal spam prevented (share of 2014 world spam):")
+    print(f"  greylisting alone : {100 * report.greylisting_share:.2f}%")
+    print(f"  nolisting alone   : {100 * report.nolisting_share:.2f}%")
+    print(f"  both combined     : {100 * report.combined_share:.2f}%")
+    print("\npaper: 'over 70% of the world spam is prevented by using "
+          "either one or the other technique'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""SMTP-dialect fingerprinting: telling bots from MTAs by their manners.
+
+The paper's opening observation (via Stringhini et al.'s B@bel) is that
+spam malware implements SMTP "in custom ways — not compliant with the
+RFCs", and that those dialects fingerprint botnets.  This example shows
+the wire transcripts of each dialect side by side, then runs the passive
+fingerprinting over a realistic traffic mix.
+
+Run:  python examples/dialect_fingerprinting.py
+"""
+
+from repro.analysis.tables import format_percent, render_table
+from repro.core.dialect_survey import run_dialect_survey
+from repro.net.address import IPv4Address
+from repro.sim.clock import Clock
+from repro.smtp.dialects import (
+    KNOWN_DIALECTS,
+    DialectFingerprinter,
+    play_dialect,
+)
+from repro.smtp.message import Message
+from repro.smtp.server import SMTPServer
+
+
+def show_transcripts() -> None:
+    fingerprinter = DialectFingerprinter()
+    for profile in KNOWN_DIALECTS:
+        clock = Clock()
+        server = SMTPServer(hostname="smtp.victim.example", clock=clock)
+        message = Message(
+            sender="sender@origin.example",
+            recipients=["user@victim.example"],
+        )
+        transcript = play_dialect(
+            profile,
+            server,
+            clock,
+            IPv4Address.parse("198.51.100.7"),
+            message,
+            "user@victim.example",
+            helo_name="mail.origin.example",
+        )
+        result = fingerprinter.classify(transcript)
+        print(f"--- dialect: {profile.name} "
+              f"(bot-likelihood {result.bot_likelihood:.2f}) ---")
+        for line in transcript.client_lines():
+            print(f"  C: {line}")
+        print()
+
+
+def main() -> None:
+    print("wire transcripts per dialect:\n")
+    show_transcripts()
+
+    print("fingerprinting a mixed traffic sample (55% MTA / 45% bots) ...")
+    result = run_dialect_survey(num_sessions=500, seed=29)
+    print(
+        render_table(
+            headers=("Metric", "Value"),
+            rows=[
+                ("sessions", result.sessions),
+                ("dialect attribution accuracy",
+                 format_percent(result.attribution_accuracy)),
+                ("bot detection precision", format_percent(result.precision)),
+                ("bot detection recall", format_percent(result.recall)),
+                ("dialect histogram", str(dict(sorted(
+                    result.dialect_histogram.items())))),
+            ],
+            title="Passive fingerprinting results",
+        )
+    )
+    print(
+        "\nreading: sloppy dialects (Cutwail) stand out immediately; a bot\n"
+        "that speaks near-perfect SMTP (Darkmailer) evades wire\n"
+        "fingerprinting — which is why delivery-logic defences like\n"
+        "greylisting and nolisting complement it."
+    )
+
+
+if __name__ == "__main__":
+    main()

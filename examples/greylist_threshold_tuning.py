@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Greylisting threshold tuning: the paper's §VI operational recommendation.
+
+For each candidate threshold, measures (a) which malware families get
+through and (b) what the threshold costs benign senders (median delay,
+long-tail delay, lost mail) on the synthetic university deployment — then
+prints the trade-off table that justifies "use a very short threshold".
+
+Run:  python examples/greylist_threshold_tuning.py
+"""
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.botnet.families import CUTWAIL, DARKMAILER, KELIHOS
+from repro.core.deployment import run_deployment_experiment
+from repro.core.greylist_experiment import run_greylist_experiment
+
+THRESHOLDS = (5.0, 60.0, 300.0, 3600.0, 21600.0)
+
+
+def main() -> None:
+    rows = []
+    for threshold in THRESHOLDS:
+        print(f"measuring threshold {format_seconds(threshold)} ...")
+        kelihos = run_greylist_experiment(KELIHOS, threshold, num_messages=30)
+        cutwail = run_greylist_experiment(CUTWAIL, threshold, num_messages=30)
+        dark = run_greylist_experiment(DARKMAILER, threshold, num_messages=30)
+        benign = run_deployment_experiment(
+            threshold=threshold, num_messages=800, seed=5
+        )
+        spam_blocked = sum(
+            r.blocked for r in (kelihos, cutwail, dark)
+        )
+        cdf = benign.delay_cdf()
+        rows.append(
+            (
+                format_seconds(threshold),
+                f"{spam_blocked}/3 families",
+                "no" if kelihos.blocked else "Kelihos gets through",
+                format_seconds(cdf.median),
+                format_seconds(cdf.quantile(0.9)),
+                benign.lost,
+            )
+        )
+
+    print()
+    print(
+        render_table(
+            headers=(
+                "Threshold",
+                "Spam blocked",
+                "Leak",
+                "Benign median",
+                "Benign P90",
+                "Benign lost",
+            ),
+            rows=rows,
+            title="Greylisting threshold trade-off",
+        )
+    )
+    print(
+        "\nconclusion (matches the paper): retrying malware defeats any\n"
+        "threshold, fire-and-forget malware is defeated by every threshold —\n"
+        "so pick a SHORT one and spare legitimate senders the delay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Worldwide nolisting-adoption measurement (the Figure 2 pipeline).
+
+Generates a synthetic internet with the paper's ground-truth mix, runs the
+two-months-apart DNS + SMTP scan pair, pushes the captures through the
+three-step detection pipeline, and prints the adoption breakdown plus the
+Alexa-style popularity cross-check.
+
+Run:  python examples/nolisting_adoption_scan.py [num_domains] [seed]
+"""
+
+import sys
+
+from repro.core.adoption import (
+    run_adoption_experiment,
+    single_scan_false_positives,
+)
+from repro.core.reports import figure2_text
+from repro.scan.detect import DomainClass
+
+
+def main() -> None:
+    num_domains = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+
+    print(f"generating a synthetic internet of {num_domains} domains "
+          f"(seed={seed}) ...")
+    result = run_adoption_experiment(num_domains=num_domains, seed=seed)
+
+    print()
+    print(figure2_text(result))
+
+    summary = result.summary
+    print(f"\nscan coverage : {summary.servers_covered} MX records, "
+          f"{summary.addresses_covered} resolved addresses")
+    print(f"glue repaired : {result.repaired_mx_records} MX records "
+          "re-resolved by the parallel scanner")
+    print(f"scan-to-scan  : {summary.flapped} domains changed verdict "
+          f"({100.0 * summary.flapped / summary.total_domains:.2f}%)")
+    print(f"validation    : {result.confusion['correct']} correct, "
+          f"{result.confusion['wrong']} wrong vs ground truth")
+
+    nolisting_count = summary.counts[DomainClass.NOLISTING]
+    print(f"\nnolisting domains found: {nolisting_count} "
+          f"({100.0 * nolisting_count / summary.total_domains:.2f}% — the "
+          "paper found 0.52%, over 133k domains at internet scale)")
+
+    print("\nwhy two scans? single-scan candidates with 2% transient outages:")
+    single = single_scan_false_positives(
+        num_domains=num_domains, seed=seed, transient_outage_rate=0.02
+    )
+    print(f"  true adopters flagged : {single['true_positives']}")
+    print(f"  transient outages misflagged : {single['false_positives']} "
+          "(all removed by the two-scan protocol)")
+
+
+if __name__ == "__main__":
+    main()

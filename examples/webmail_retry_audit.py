@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Webmail retry audit: regenerate Table III and explain each provider.
+
+Plays all ten webmail provider models (measured retry schedules + IP-pool
+behaviour) against a server greylisted at six hours with the stock provider
+whitelist removed — the paper's §V.B experiment — and annotates each row
+with what its outcome means for greylisting operators.
+
+Run:  python examples/webmail_retry_audit.py
+"""
+
+from repro.analysis.tables import format_seconds
+from repro.core.reports import table3_text
+from repro.core.webmail_experiment import SIX_HOURS, run_webmail_experiment
+from repro.webmail.providers import PROVIDER_BY_NAME
+
+
+def main() -> None:
+    print("running all ten providers against a 6h greylisting threshold ...\n")
+    rows = run_webmail_experiment()
+    print(table3_text(rows))
+
+    print("\nper-provider notes:")
+    for row in rows:
+        spec = PROVIDER_BY_NAME[row.provider]
+        notes = []
+        if not row.same_ip:
+            notes.append(f"rotates {row.ip_pool_size} IPs (triplet resets)")
+        if spec.gives_up:
+            last = spec.attempt_age(spec.max_attempts)
+            notes.append(
+                f"gives up after {spec.max_attempts} attempts "
+                f"(~{format_seconds(last)}) — RFC-822 wants 4-5 days"
+            )
+        if row.delivered:
+            notes.append(
+                f"delivered after {row.attempts} attempts, "
+                f"{format_seconds(row.delivery_age)}"
+            )
+        else:
+            notes.append("MESSAGE LOST at this threshold")
+        print(f"  {row.provider:<12} {'; '.join(notes)}")
+
+    lost = [r.provider for r in rows if not r.delivered]
+    print(
+        f"\n{len(lost)} provider(s) lose mail at a 6h threshold: "
+        f"{', '.join(lost)}.\n"
+        "This is why Postgrey ships a provider whitelist — and why the paper\n"
+        "concludes whitelisting web-mail providers is fundamental (§VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

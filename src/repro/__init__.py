@@ -1,0 +1,63 @@
+"""repro — reproduction of "Measuring the Role of Greylisting and Nolisting
+in Fighting Spam" (Pagani et al., DSN 2016).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (clock, scheduler,
+  splittable RNG streams);
+* :mod:`repro.net` — virtual IPv4 internet (addresses, hosts, ports);
+* :mod:`repro.dns` — zones, resolver, MX handling, nolisting setup;
+* :mod:`repro.smtp` — RFC 5321 server state machine and compliant client;
+* :mod:`repro.greylist` — Postgrey-compatible triplet greylisting;
+* :mod:`repro.mta` — benign MTA retry schedules (Table IV profiles);
+* :mod:`repro.botnet` — the four spam-family behaviour models (Table I);
+* :mod:`repro.webmail` — the ten webmail provider models (Table III);
+* :mod:`repro.scan` — internet-scale scanning and nolisting detection;
+* :mod:`repro.maillog` — anonymized greylist logs + university deployment;
+* :mod:`repro.analysis` — CDFs, statistics, table rendering;
+* :mod:`repro.core` — the paper's experiments, one callable per
+  table/figure.
+
+Quick start::
+
+    from repro.core import build_defense_matrix, table2_text
+    matrix = build_defense_matrix()
+    print(table2_text(matrix))
+"""
+
+from . import (  # noqa: F401 — re-exported subpackages
+    analysis,
+    blacklist,
+    botnet,
+    core,
+    dns,
+    filter,
+    greylist,
+    maillog,
+    mta,
+    net,
+    scan,
+    sim,
+    smtp,
+    webmail,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "blacklist",
+    "botnet",
+    "core",
+    "dns",
+    "filter",
+    "greylist",
+    "maillog",
+    "mta",
+    "net",
+    "scan",
+    "sim",
+    "smtp",
+    "webmail",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Small summary-statistics helpers shared by experiments and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    values = sorted(float(s) for s in samples)
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+
+    def pct(q: float) -> float:
+        index = max(0, min(n - 1, int(-(-q * n // 1)) - 1))
+        return values[index]
+
+    return Summary(
+        n=n,
+        mean=sum(values) / n,
+        minimum=values[0],
+        p25=pct(0.25),
+        median=pct(0.5),
+        p75=pct(0.75),
+        p90=pct(0.9),
+        maximum=values[-1],
+    )
+
+
+def histogram(
+    samples: Sequence[float], edges: Sequence[float]
+) -> List[Tuple[Tuple[float, float], int]]:
+    """Bin samples into [edges[i], edges[i+1]) intervals.
+
+    Used to locate the retry-delay peaks of Figure 4.
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    if sorted(edges) != list(edges):
+        raise ValueError("bin edges must be ascending")
+    counts = [0] * (len(edges) - 1)
+    for sample in samples:
+        for i in range(len(edges) - 1):
+            if edges[i] <= sample < edges[i + 1]:
+                counts[i] += 1
+                break
+    return [
+        ((edges[i], edges[i + 1]), counts[i]) for i in range(len(edges) - 1)
+    ]
+
+
+def fraction_within(samples: Sequence[float], bound: float) -> float:
+    """Fraction of samples <= bound."""
+    if not samples:
+        raise ValueError("empty sample")
+    return sum(1 for s in samples if s <= bound) / len(samples)

@@ -1,0 +1,68 @@
+"""ASCII table rendering for the experiment reports.
+
+The benchmark harness prints reproduced tables in the same row/column
+structure as the paper; this module handles alignment and formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+CHECK = "YES"
+CROSS = "no"
+
+
+def mark(flag: bool) -> str:
+    """Render the paper's check/cross marks in ASCII."""
+    return CHECK if flag else CROSS
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(separator)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration: 90 -> '1m30s', 7260 -> '2h01m'."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    if total < 60:
+        return f"{total}s"
+    if total < 3600:
+        minutes, secs = divmod(total, 60)
+        return f"{minutes}m{secs:02d}s"
+    hours, rem = divmod(total, 3600)
+    minutes = rem // 60
+    return f"{hours}h{minutes:02d}m"

@@ -1,0 +1,70 @@
+"""MX-selection behaviour taxonomy (paper §IV.B).
+
+The paper classifies spam bots by which of the target domain's mail
+exchangers they contact:
+
+* **RFC compliant** — walks all MX hosts in priority order (RFC 5321);
+* **primary only** — contacts only the highest-priority MX (the behaviour
+  nolisting exploits; Kelihos);
+* **secondary only** — skips the primary entirely and goes straight to the
+  lowest-priority MX (the anti-nolisting adaptation; Cutwail);
+* **all MX** — contacts every MX in arbitrary order.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from ..dns.mxutil import MailExchanger
+from ..sim.rng import RandomStream
+
+
+class MXBehavior(enum.Enum):
+    """How a sender chooses among a domain's MX hosts."""
+
+    RFC_COMPLIANT = "rfc-compliant"
+    PRIMARY_ONLY = "primary-only"
+    SECONDARY_ONLY = "secondary-only"
+    ALL_MX = "all-mx"
+
+
+def select_targets(
+    behavior: MXBehavior,
+    exchangers: Sequence[MailExchanger],
+    rng: Optional[RandomStream] = None,
+) -> List[MailExchanger]:
+    """Pick the exchanger(s) a sender with ``behavior`` will contact, in order.
+
+    ``exchangers`` must already be sorted by ascending preference (use
+    :func:`repro.dns.mxutil.resolve_exchangers`).  ``ALL_MX`` shuffles when
+    an rng is supplied, otherwise keeps the resolved order — the paper notes
+    all-MX bots use "a random or systematic order".
+    """
+    usable = [mx for mx in exchangers if mx.resolvable]
+    if not usable:
+        return []
+    if behavior is MXBehavior.RFC_COMPLIANT:
+        return list(usable)
+    if behavior is MXBehavior.PRIMARY_ONLY:
+        return [usable[0]]
+    if behavior is MXBehavior.SECONDARY_ONLY:
+        # "targets only the mail server with the lowest priority" — i.e. the
+        # numerically highest preference value, last in sorted order.
+        return [usable[-1]]
+    if behavior is MXBehavior.ALL_MX:
+        targets = list(usable)
+        if rng is not None:
+            rng.shuffle(targets)
+        return targets
+    raise ValueError(f"unknown behavior {behavior!r}")
+
+
+def defeats_nolisting(behavior: MXBehavior) -> bool:
+    """Would a sender with this MX behaviour get past nolisting?
+
+    Nolisting's dead primary only stops senders that *exclusively* target
+    the primary MX.  Compliant and all-MX senders fall through to the
+    secondary; secondary-only senders never touch the primary at all.
+    """
+    return behavior is not MXBehavior.PRIMARY_ONLY

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per experiment, each printing the reproduced artefact.
+The CLI is a thin veneer over :mod:`repro.core`; everything it can do is
+also available as a library call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_percent, format_seconds, render_table
+
+
+def _cmd_adoption(args: argparse.Namespace) -> int:
+    from .core.adoption import run_adoption_experiment
+    from .core.reports import figure2_text
+
+    result = run_adoption_experiment(
+        num_domains=args.domains, seed=args.seed
+    )
+    print(figure2_text(result))
+    return 0
+
+
+def _cmd_defenses(args: argparse.Namespace) -> int:
+    from .core.coverage import build_coverage_report
+    from .core.defense_matrix import build_defense_matrix
+    from .core.reports import table2_text
+
+    matrix = build_defense_matrix(seed=args.seed, recipients=args.recipients)
+    print(table2_text(matrix))
+    report = build_coverage_report(matrix)
+    print()
+    print(f"greylisting alone : {format_percent(report.greylisting_share)} "
+          "of global spam blocked")
+    print(f"nolisting alone   : {format_percent(report.nolisting_share)}")
+    print(f"both combined     : {format_percent(report.combined_share)}")
+    return 0
+
+
+def _cmd_webmail(args: argparse.Namespace) -> int:
+    from .core.reports import table3_text
+    from .core.webmail_experiment import run_webmail_experiment
+
+    rows = run_webmail_experiment(threshold=args.threshold)
+    print(table3_text(rows))
+    return 0
+
+
+def _cmd_mta_survey(args: argparse.Namespace) -> int:
+    from .core.mta_survey import run_mta_survey
+    from .core.reports import table4_text
+
+    print(table4_text(run_mta_survey()))
+    return 0
+
+
+def _cmd_kelihos(args: argparse.Namespace) -> int:
+    from .botnet.families import KELIHOS
+    from .core.greylist_experiment import run_greylist_experiment
+    from .core.reports import figure3_text, figure4_text
+
+    result = run_greylist_experiment(
+        KELIHOS,
+        args.threshold,
+        num_messages=args.messages,
+        seed=args.seed,
+    )
+    if args.threshold >= 21600:
+        print(figure4_text(result))
+    else:
+        print(figure3_text(result))
+    return 0
+
+
+def _cmd_deployment(args: argparse.Namespace) -> int:
+    from .core.deployment import run_deployment_experiment
+    from .core.reports import figure5_text
+
+    result = run_deployment_experiment(
+        threshold=args.threshold,
+        num_messages=args.messages,
+        seed=args.seed,
+    )
+    print(figure5_text(result.delay_cdf(), result.threshold))
+    print(f"\ndelivered {result.delivered}, lost {result.lost} "
+          f"({format_percent(result.loss_rate)})")
+    return 0
+
+
+def _cmd_synergy(args: argparse.Namespace) -> int:
+    from .core.synergy import run_synergy_comparison, sweep_greylist_delay
+
+    results = run_synergy_comparison(seed=args.seed)
+    print(
+        render_table(
+            headers=("Configuration", "Delivered", "DNSBL rejections"),
+            rows=[
+                (r.configuration, f"{r.delivered}/{r.num_messages}", r.dnsbl_rejections)
+                for r in results
+            ],
+            title="Greylisting x blacklisting vs Kelihos (fast telemetry)",
+        )
+    )
+    print()
+    sweep = sweep_greylist_delay(seed=args.seed)
+    print(
+        render_table(
+            headers=("Greylist delay", "Delivery rate"),
+            rows=[
+                (format_seconds(r.greylist_delay), f"{r.delivery_rate:.2f}")
+                for r in sweep
+            ],
+            title="Threshold needed to buy the blacklist time (rate 60/h)",
+        )
+    )
+    return 0
+
+
+def _cmd_adaptation(args: argparse.Namespace) -> int:
+    from .core.adaptation import obsolescence_level, sweep_adaptation
+
+    points = sweep_adaptation()
+    print(
+        render_table(
+            headers=("Adapted fraction", "Greylisting", "Nolisting", "Combined"),
+            rows=[
+                (
+                    f"{p.adaptation:.2f}",
+                    format_percent(p.greylisting_coverage),
+                    format_percent(p.nolisting_coverage),
+                    format_percent(p.combined_coverage),
+                )
+                for p in points
+            ],
+            title="Coverage as malware adapts (Results Validity sweep)",
+        )
+    )
+    level = obsolescence_level(points)
+    print(f"\ncombined coverage drops below 50% once {level:.0%} of spam "
+          "output is fully adapted")
+    return 0
+
+
+def _cmd_dialects(args: argparse.Namespace) -> int:
+    from .core.dialect_survey import run_dialect_survey
+
+    result = run_dialect_survey(num_sessions=args.sessions, seed=args.seed)
+    print(
+        render_table(
+            headers=("Metric", "Value"),
+            rows=[
+                ("sessions", result.sessions),
+                ("dialect attribution", format_percent(result.attribution_accuracy)),
+                ("bot precision", format_percent(result.precision)),
+                ("bot recall", format_percent(result.recall)),
+            ],
+            title="Passive SMTP-dialect fingerprinting",
+        )
+    )
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    import math
+
+    from .core.variants import compare_variants
+
+    results = compare_variants()
+    print(
+        render_table(
+            headers=(
+                "Key strategy",
+                "Rotating spam delivered",
+                "Farm delay",
+                "DB entries",
+            ),
+            rows=[
+                (
+                    r.strategy.value,
+                    f"{r.rotating_spam_delivered}/20",
+                    "never"
+                    if math.isinf(r.farm_delivery_delay)
+                    else format_seconds(r.farm_delivery_delay),
+                    r.db_entries_under_rotation,
+                )
+                for r in results
+            ],
+            title="Greylisting keying variants",
+        )
+    )
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from .core.filter_comparison import compare_filtering
+
+    results = compare_filtering(seed=args.seed)
+    print(
+        render_table(
+            headers=(
+                "Configuration",
+                "Spam blocked",
+                "Benign delay",
+                "Spam bytes",
+            ),
+            rows=[
+                (
+                    r.configuration,
+                    f"{r.spam_block_rate:.0%}",
+                    format_seconds(r.benign_mean_delay),
+                    r.spam_bytes_received,
+                )
+                for r in results
+            ],
+            title="Pre-acceptance (greylist) vs post-acceptance (content)",
+        )
+    )
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from .core.scorecard import build_scorecard, scorecard_text
+
+    print(scorecard_text(seed=args.seed, scale=args.scale))
+    rows = build_scorecard(seed=args.seed, scale=args.scale)
+    return 0 if all(row.holds for row in rows) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Measuring the Role of Greylisting and "
+            "Nolisting in Fighting Spam' (DSN 2016)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("adoption", help="Figure 2: nolisting adoption scan")
+    p.add_argument("--domains", type=int, default=20000)
+    p.set_defaults(func=_cmd_adoption)
+
+    p = sub.add_parser("defenses", help="Table II + coverage headline")
+    p.add_argument("--recipients", type=int, default=3)
+    p.set_defaults(func=_cmd_defenses)
+
+    p = sub.add_parser("webmail", help="Table III: webmail retry behaviour")
+    p.add_argument("--threshold", type=float, default=21600.0)
+    p.set_defaults(func=_cmd_webmail)
+
+    p = sub.add_parser("mta-survey", help="Table IV: MTA retry schedules")
+    p.set_defaults(func=_cmd_mta_survey)
+
+    p = sub.add_parser("kelihos", help="Figures 3-4: Kelihos vs greylisting")
+    p.add_argument("--threshold", type=float, default=300.0)
+    p.add_argument("--messages", type=int, default=100)
+    p.set_defaults(func=_cmd_kelihos)
+
+    p = sub.add_parser("deployment", help="Figure 5: benign delivery delays")
+    p.add_argument("--threshold", type=float, default=300.0)
+    p.add_argument("--messages", type=int, default=2000)
+    p.set_defaults(func=_cmd_deployment)
+
+    p = sub.add_parser("synergy", help="greylisting x blacklisting synergy")
+    p.set_defaults(func=_cmd_synergy)
+
+    p = sub.add_parser("adaptation", help="obsolescence sweep")
+    p.set_defaults(func=_cmd_adaptation)
+
+    p = sub.add_parser("dialects", help="SMTP-dialect fingerprinting survey")
+    p.add_argument("--sessions", type=int, default=400)
+    p.set_defaults(func=_cmd_dialects)
+
+    p = sub.add_parser("variants", help="greylisting keying variants")
+    p.set_defaults(func=_cmd_variants)
+
+    p = sub.add_parser("filter", help="pre- vs post-acceptance comparison")
+    p.set_defaults(func=_cmd_filter)
+
+    p = sub.add_parser(
+        "scorecard",
+        help="run every experiment and print paper-vs-measured verdicts",
+    )
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_scorecard)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Internet-scale synthesis: adoption rates x family mix -> spam blocked.
+
+The paper measures two things separately: *who deploys* the techniques
+(Figure 2) and *what each technique blocks* (Table II).  This experiment
+composes them: a small internet of receiver domains — some greylisted,
+some nolisted, some undefended — receives a spam wave whose family mix
+follows Table I, and we measure the fraction of spam actually delivered.
+
+Because every delivery is simulated end to end (DNS, MX walking, retries,
+triplets), the measured block rate can be checked against the analytic
+prediction ``sum_family share_f x P(defended domain blocks f)`` — closing
+the loop between the paper's adoption and effectiveness halves, and
+answering "what if adoption grew?" by sweeping the deployment rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..botnet.behavior import defeats_nolisting
+from ..botnet.families import FAMILIES, FamilyProfile
+from ..dns.nolisting import setup_nolisting, setup_single_mx
+from ..dns.resolver import StubResolver
+from ..dns.zone import ZoneStore
+from ..greylist.policy import GreylistPolicy
+from ..net.address import AddressPool, IPv4Network
+from ..net.network import VirtualInternet
+from ..sim.clock import Clock
+from ..sim.events import EventScheduler
+from ..sim.rng import RandomStream
+from ..smtp.message import Message
+from ..smtp.server import SMTPServer
+
+
+@dataclass
+class InternetScaleResult:
+    """Measured spam flow through a mixed-deployment internet."""
+
+    num_domains: int
+    greylisting_rate: float
+    nolisting_rate: float
+    spam_sent: int
+    spam_delivered: int
+    per_family_delivered: Dict[str, int] = field(default_factory=dict)
+    per_family_sent: Dict[str, int] = field(default_factory=dict)
+    predicted_block_rate: float = 0.0
+
+    @property
+    def block_rate(self) -> float:
+        if self.spam_sent == 0:
+            return 0.0
+        return 1.0 - self.spam_delivered / self.spam_sent
+
+    def family_delivery_rate(self, family: str) -> float:
+        sent = self.per_family_sent.get(family, 0)
+        if sent == 0:
+            return 0.0
+        return self.per_family_delivered.get(family, 0) / sent
+
+
+def _family_blocked_probability(
+    family: FamilyProfile, greylisting_rate: float, nolisting_rate: float
+) -> float:
+    """Analytic P(block) for one family under random deployment.
+
+    Greylisting blocks non-retrying families; nolisting blocks
+    primary-only families.  Deployments are disjoint in this model
+    (a domain is nolisted XOR possibly greylisted).
+    """
+    blocked = 0.0
+    if not defeats_nolisting(family.mx_behavior):
+        blocked += nolisting_rate
+    if not family.retries:
+        blocked += greylisting_rate
+    return min(blocked, 1.0)
+
+
+def run_internet_scale(
+    num_domains: int = 60,
+    greylisting_rate: float = 0.3,
+    nolisting_rate: float = 0.1,
+    messages: int = 400,
+    greylist_delay: float = 300.0,
+    seed: int = 61,
+    horizon: float = 400000.0,
+) -> InternetScaleResult:
+    """Run one spam wave through a mixed-deployment internet."""
+    if not 0.0 <= greylisting_rate + nolisting_rate <= 1.0:
+        raise ValueError("deployment rates must sum to at most 1")
+    rng = RandomStream(seed, "internet-scale")
+    scheduler = EventScheduler(Clock())
+    internet = VirtualInternet()
+    zones = ZoneStore()
+    resolver = StubResolver(zones, clock=scheduler.clock)
+    server_pool = AddressPool(IPv4Network.parse("10.0.0.0/16"))
+    bot_pool = AddressPool(IPv4Network.parse("198.51.100.0/24"))
+
+    # --- receiver domains with a randomized deployment mix ----------------
+    deploy_rng = rng.split("deployments")
+    domains: List[str] = []
+    for index in range(num_domains):
+        domain = f"site{index:04d}.example"
+        domains.append(domain)
+        roll = deploy_rng.random()
+        if roll < nolisting_rate:
+            policy = None
+            builder = setup_nolisting
+        elif roll < nolisting_rate + greylisting_rate:
+            policy = GreylistPolicy(clock=scheduler.clock, delay=greylist_delay)
+            builder = setup_single_mx
+        else:
+            policy = None
+            builder = setup_single_mx
+        server = SMTPServer(
+            hostname=f"smtp.{domain}",
+            clock=scheduler.clock,
+            policy=policy,
+            local_domains=[domain],
+        )
+        builder(internet, zones, server_pool, domain, server.session_factory)
+
+    # --- the spam wave: family mix per Table I ----------------------------
+    bots = {
+        family.name: family.build_bot(
+            internet=internet,
+            resolver=resolver,
+            scheduler=scheduler,
+            source_address=bot_pool.allocate(),
+            rng=rng.split(f"bot:{family.name}"),
+        )
+        for family in FAMILIES
+    }
+    weights = [family.botnet_spam_share for family in FAMILIES]
+    mix_rng = rng.split("mix")
+    target_rng = rng.split("targets")
+    per_family_sent: Dict[str, int] = {f.name: 0 for f in FAMILIES}
+    for index in range(messages):
+        family = FAMILIES[mix_rng.weighted_index(weights)]
+        domain = target_rng.choice(domains)
+        per_family_sent[family.name] += 1
+        bots[family.name].assign(
+            Message(
+                sender=f"spam{index}@botnet.example",
+                recipients=[f"user{index % 17}@{domain}"],
+            )
+        )
+
+    scheduler.run(until=horizon)
+
+    per_family_delivered = {
+        name: len(bot.delivered_tasks) for name, bot in bots.items()
+    }
+    # Normalize the analytic prediction over the *sent* mix.
+    total_sent = sum(per_family_sent.values())
+    predicted = sum(
+        per_family_sent[family.name]
+        * _family_blocked_probability(
+            family, greylisting_rate, nolisting_rate
+        )
+        for family in FAMILIES
+    ) / total_sent if total_sent else 0.0
+
+    return InternetScaleResult(
+        num_domains=num_domains,
+        greylisting_rate=greylisting_rate,
+        nolisting_rate=nolisting_rate,
+        spam_sent=total_sent,
+        spam_delivered=sum(per_family_delivered.values()),
+        per_family_delivered=per_family_delivered,
+        per_family_sent=per_family_sent,
+        predicted_block_rate=predicted,
+    )
+
+
+def sweep_deployment_rates(
+    rates: List[tuple] = None, messages: int = 300, seed: int = 61
+) -> List[InternetScaleResult]:
+    """Block rate as deployment grows — the "what if adoption rose" curve."""
+    if rates is None:
+        rates = [(0.0, 0.0), (0.2, 0.05), (0.5, 0.1), (0.8, 0.2)]
+    return [
+        run_internet_scale(
+            greylisting_rate=grey,
+            nolisting_rate=nolist,
+            messages=messages,
+            seed=seed,
+        )
+        for (grey, nolist) in rates
+    ]

@@ -1,0 +1,69 @@
+"""Long-term greylisting effectiveness over the deployment window.
+
+Related work the paper builds on (Sochor 2009/2010) tracked greylisting in
+production for two years and found its effectiveness constant.  Our
+four-month university deployment allows the same style of analysis: bin
+the greylist decisions by week and track (a) the pass rate of benign mail
+and (b) the delivery-delay profile over time.  On a stationary sender mix
+the weekly rates should be flat — which is both a validation of the
+deployment model and the Sochor result in miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.timeseries import WEEK, TimeBin, bin_events, rate_stability
+from ..maillog.university import DeploymentConfig, UniversityDeployment
+
+
+@dataclass
+class LongTermResult:
+    """Weekly effectiveness series of one deployment run."""
+
+    weekly_delivery: List[TimeBin]     # messages delivered per week
+    weekly_loss: List[TimeBin]         # messages lost per week
+    delivery_stability: Optional[float]
+
+    @property
+    def weeks_observed(self) -> int:
+        return len([b for b in self.weekly_delivery if b.count > 0])
+
+
+def run_longterm_analysis(
+    num_messages: int = 2000,
+    duration_days: float = 120.0,
+    threshold: float = 300.0,
+    seed: int = 5,
+) -> LongTermResult:
+    """Run the deployment and bin its outcomes by week."""
+    config = DeploymentConfig(
+        threshold=threshold,
+        duration_days=duration_days,
+        num_messages=num_messages,
+    )
+    result = UniversityDeployment(config, seed=seed).run()
+    delivered_logs = [log for log in result.logs if log.attempt_times]
+
+    weekly_delivery = bin_events(
+        delivered_logs,
+        timestamp=lambda log: log.attempt_times[0],
+        predicate=lambda log: log.delivered,
+        bin_width=WEEK,
+        start=0.0,
+        end=duration_days * 86400.0,
+    )
+    weekly_loss = bin_events(
+        delivered_logs,
+        timestamp=lambda log: log.attempt_times[0],
+        predicate=lambda log: not log.delivered,
+        bin_width=WEEK,
+        start=0.0,
+        end=duration_days * 86400.0,
+    )
+    return LongTermResult(
+        weekly_delivery=weekly_delivery,
+        weekly_loss=weekly_loss,
+        delivery_stability=rate_stability(weekly_delivery),
+    )

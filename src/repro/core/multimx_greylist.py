@@ -1,0 +1,156 @@
+"""Greylisting behind load-balanced MX farms (paper §II, second criticism).
+
+Greylisting "only works if the client retries ... always with the same IP"
+— and, symmetrically, only if the *server side* remembers the triplet
+wherever the retry lands.  A domain with several equal-preference MX hosts
+load-balances incoming connections (RFC 5321 makes compliant senders
+randomize equal-preference exchangers), so a retry often reaches a
+different MX than the original attempt.  If every MX keeps its own triplet
+database, that retry looks brand new and is greylisted again — delays
+multiply and early-give-up senders lose mail.
+
+This experiment runs compliant senders against a two-MX greylisted domain
+with (a) per-host triplet stores and (b) a shared store, and compares the
+delivery-delay distributions — the quantitative case for sharing the
+greylisting state (or pinning it at a layer above the MX farm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dns.resolver import StubResolver
+from ..dns.zone import ZoneStore
+from ..greylist.policy import GreylistPolicy
+from ..mta.profiles import PROFILES
+from ..mta.queue import QueueEntryState, QueueManager
+from ..net.address import AddressPool, IPv4Network
+from ..net.host import SMTP_PORT, VirtualHost
+from ..net.network import VirtualInternet
+from ..sim.clock import Clock
+from ..sim.events import EventScheduler
+from ..sim.rng import RandomStream
+from ..smtp.client import SMTPClient
+from ..smtp.message import Message
+from ..smtp.server import SMTPServer
+
+
+@dataclass
+class MultiMXResult:
+    """Delivery outcomes for one store configuration."""
+
+    shared_store: bool
+    messages: int
+    delivered: int
+    lost: int
+    delays: List[float]
+    total_deferrals: int
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+
+def run_multimx_experiment(
+    shared_store: bool,
+    num_messages: int = 40,
+    mx_count: int = 2,
+    threshold: float = 300.0,
+    mta_name: str = "postfix",
+    seed: int = 37,
+    horizon: float = 14 * 86400.0,
+) -> MultiMXResult:
+    """Compliant senders vs an equal-preference greylisted MX farm."""
+    scheduler = EventScheduler(Clock())
+    internet = VirtualInternet()
+    zones = ZoneStore()
+    resolver = StubResolver(zones, clock=scheduler.clock)
+    server_pool = AddressPool(IPv4Network.parse("192.0.2.0/24"))
+    client_pool = AddressPool(IPv4Network.parse("203.0.113.0/24"))
+    rng = RandomStream(seed, f"multimx:{shared_store}")
+
+    domain = "farm.example"
+    zone = zones.get_or_create(domain)
+
+    shared_policy = GreylistPolicy(clock=scheduler.clock, delay=threshold)
+    policies: List[GreylistPolicy] = []
+    for index in range(mx_count):
+        if shared_store:
+            policy = shared_policy
+        else:
+            policy = GreylistPolicy(clock=scheduler.clock, delay=threshold)
+        policies.append(policy)
+        hostname = f"mx{index}.{domain}"
+        address = server_pool.allocate()
+        zone.add_a(hostname, address)
+        zone.add_mx(10, hostname)  # equal preference: a load-balanced farm
+        server = SMTPServer(
+            hostname=hostname,
+            clock=scheduler.clock,
+            policy=policy,
+            local_domains=[domain],
+        )
+        host = VirtualHost(hostname, [address])
+        host.listen(SMTP_PORT, server.session_factory)
+        internet.register(host)
+
+    profile = PROFILES[mta_name]
+    queues: List[QueueManager] = []
+    for index in range(num_messages):
+        client = SMTPClient(
+            internet=internet,
+            resolver=resolver,
+            source_address=client_pool.allocate(),
+            helo_name=f"mail{index}.origin.example",
+            rng=rng.split(f"client{index}"),
+        )
+        queue = QueueManager(scheduler, client, profile.schedule)
+        queue.submit(
+            Message(
+                sender=f"user{index}@origin{index}.example",
+                recipients=[f"staff@{domain}"],
+            )
+        )
+        queues.append(queue)
+
+    scheduler.run(until=horizon)
+
+    delivered = 0
+    lost = 0
+    delays: List[float] = []
+    for queue in queues:
+        for entry in queue.entries:
+            if entry.state is QueueEntryState.DELIVERED:
+                delivered += 1
+                delays.append(entry.delivery_delay)
+            else:
+                lost += 1
+    deduped_policies = {id(p): p for p in policies}.values()
+    total_deferrals = sum(len(p.deferrals()) for p in deduped_policies)
+    return MultiMXResult(
+        shared_store=shared_store,
+        messages=num_messages,
+        delivered=delivered,
+        lost=lost,
+        delays=delays,
+        total_deferrals=total_deferrals,
+    )
+
+
+def compare_store_sharing(
+    num_messages: int = 40, seed: int = 37
+) -> List[MultiMXResult]:
+    """Per-host stores vs a shared store, same senders and seed."""
+    return [
+        run_multimx_experiment(
+            shared_store=False, num_messages=num_messages, seed=seed
+        ),
+        run_multimx_experiment(
+            shared_store=True, num_messages=num_messages, seed=seed
+        ),
+    ]

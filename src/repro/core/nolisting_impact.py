@@ -1,0 +1,157 @@
+"""Nolisting's impact on legitimate mail (paper §II, the criticisms).
+
+Nolisting's selling point is that it "should not affect the delivery of
+benign emails, and it should not introduce any delay" — RFC-compliant
+senders just fall through to the secondary MX.  The criticism is that "it
+is possible (even though extremely rare) that this technique can prevent
+some legitimate email client (especially small programs used to send
+automated notifications) from delivering legitimate messages".
+
+This experiment measures both claims: a population of benign senders —
+mostly full MTAs, plus a configurable fraction of primary-only notifier
+scripts — delivers through a nolisted domain, and we record delivery
+rates and added delay per sender class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..botnet.behavior import MXBehavior
+from ..botnet.bot import SpamBot
+from ..botnet.retry import FireAndForget
+from ..mta.profiles import PROFILES
+from ..mta.queue import QueueEntryState, QueueManager
+from ..net.address import AddressPool, IPv4Network
+from ..sim.rng import RandomStream
+from ..smtp.client import SMTPClient
+from ..smtp.message import Message
+from .testbed import Defense, Testbed, TestbedConfig
+
+
+@dataclass
+class SenderClassOutcome:
+    """Delivery outcome of one benign sender class."""
+
+    name: str
+    messages: int
+    delivered: int
+    lost: int
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.messages if self.messages else 0.0
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+
+@dataclass
+class NolistingImpactResult:
+    """Per-class outcomes under a nolisted vs plain domain."""
+
+    outcomes: Dict[str, SenderClassOutcome]
+
+    @property
+    def compliant_loss(self) -> int:
+        return sum(
+            o.lost for name, o in self.outcomes.items() if name != "notifier"
+        )
+
+    @property
+    def notifier_outcome(self) -> SenderClassOutcome:
+        return self.outcomes["notifier"]
+
+
+def run_nolisting_impact(
+    messages_per_mta: int = 10,
+    notifier_messages: int = 10,
+    seed: int = 13,
+    defense: Defense = Defense.NOLISTING,
+    horizon: float = 86400.0,
+) -> NolistingImpactResult:
+    """Deliver benign traffic through a (no)listed domain and tally it.
+
+    Sender classes:
+
+    * one class per Table IV MTA profile — fully compliant clients that
+      walk the MX list and retry;
+    * ``notifier`` — a primary-only, fire-and-forget script (modelled with
+      the bot engine, because that *is* the delivery logic such scripts
+      share with naive bots; the content is legitimate).
+    """
+    testbed = Testbed(TestbedConfig(defense=defense))
+    pool = AddressPool(IPv4Network.parse("203.0.113.0/24"))
+    outcomes: Dict[str, SenderClassOutcome] = {}
+
+    # Compliant MTA senders.
+    for mta_name, profile in sorted(PROFILES.items()):
+        client = SMTPClient(
+            internet=testbed.internet,
+            resolver=testbed.resolver,
+            source_address=pool.allocate(),
+            helo_name=f"mail.{mta_name}.example",
+        )
+        queue = QueueManager(testbed.scheduler, client, profile.schedule)
+        for index in range(messages_per_mta):
+            queue.submit(
+                Message(
+                    sender=f"user{index}@{mta_name}.example",
+                    recipients=[f"user{index}@victim.example"],
+                )
+            )
+        outcomes[mta_name] = SenderClassOutcome(
+            name=mta_name, messages=messages_per_mta, delivered=0, lost=0
+        )
+        # Tally after the run; keep a reference for later.
+        outcomes[mta_name]._queue = queue  # type: ignore[attr-defined]
+
+    # Primary-only notifier scripts.
+    notifier = SpamBot(
+        internet=testbed.internet,
+        resolver=testbed.resolver,
+        scheduler=testbed.scheduler,
+        source_address=pool.allocate(),
+        mx_behavior=MXBehavior.PRIMARY_ONLY,
+        retry_model=FireAndForget(),
+        rng=RandomStream(seed, "notifier"),
+        helo_name="cron-box.victim-partner.example",
+        walks_mx_on_failure=False,
+    )
+    for index in range(notifier_messages):
+        notifier.assign(
+            Message(
+                sender=f"alerts{index}@monitoring.example",
+                recipients=[f"oncall{index}@victim.example"],
+                subject="disk almost full",
+            )
+        )
+
+    testbed.run(horizon=horizon)
+
+    for mta_name in sorted(PROFILES):
+        outcome = outcomes[mta_name]
+        queue: QueueManager = outcome._queue  # type: ignore[attr-defined]
+        del outcome._queue  # type: ignore[attr-defined]
+        for entry in queue.entries:
+            if entry.state is QueueEntryState.DELIVERED:
+                outcome.delivered += 1
+                outcome.delays.append(entry.delivery_delay)
+            else:
+                outcome.lost += 1
+
+    outcomes["notifier"] = SenderClassOutcome(
+        name="notifier",
+        messages=notifier_messages,
+        delivered=len(notifier.delivered_tasks),
+        lost=len(notifier.abandoned_tasks),
+        delays=[
+            task.delivery_delay
+            for task in notifier.delivered_tasks
+            if task.delivery_delay is not None
+        ],
+    )
+    return NolistingImpactResult(outcomes=outcomes)

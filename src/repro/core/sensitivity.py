@@ -1,0 +1,108 @@
+"""Seed-sensitivity analysis of the headline reproductions.
+
+A reproduction that only works at one magic seed is not a reproduction.
+This harness re-runs the stochastic experiments across a seed sweep and
+reports the spread of the quantities the paper's claims rest on:
+
+* the Figure 2 adoption percentages;
+* the Figure 5 benign-delay quantiles (with bootstrap CIs per run);
+* the Table II family verdicts (which must be seed-invariant — they are
+  behavioural, not statistical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..analysis.bootstrap import ConfidenceInterval, bootstrap_ci, median
+from ..scan.detect import DomainClass
+from .adoption import run_adoption_experiment
+from .defense_matrix import build_defense_matrix
+from .deployment import run_deployment_experiment
+from .testbed import Defense
+
+DEFAULT_SEEDS: Sequence[int] = (1, 2, 3, 5, 8)
+
+
+@dataclass
+class AdoptionSensitivity:
+    """Figure 2 percentages across seeds."""
+
+    seeds: List[int]
+    nolisting_pct: List[float]
+    one_mx_pct: List[float]
+    misclassified: List[int]
+
+    @property
+    def nolisting_spread(self) -> float:
+        return max(self.nolisting_pct) - min(self.nolisting_pct)
+
+
+def adoption_sensitivity(
+    seeds: Sequence[int] = DEFAULT_SEEDS, num_domains: int = 5000
+) -> AdoptionSensitivity:
+    result = AdoptionSensitivity(
+        seeds=list(seeds), nolisting_pct=[], one_mx_pct=[], misclassified=[]
+    )
+    for seed in seeds:
+        run = run_adoption_experiment(num_domains=num_domains, seed=seed)
+        percentages = run.measured_percentages()
+        result.nolisting_pct.append(percentages[DomainClass.NOLISTING])
+        result.one_mx_pct.append(percentages[DomainClass.ONE_MX])
+        result.misclassified.append(run.confusion["wrong"])
+    return result
+
+
+@dataclass
+class DeploymentSensitivity:
+    """Figure 5 medians across seeds, with per-run bootstrap CIs."""
+
+    seeds: List[int]
+    medians: List[float]
+    median_cis: List[ConfidenceInterval] = field(default_factory=list)
+    within_10min: List[float] = field(default_factory=list)
+
+    @property
+    def median_spread(self) -> float:
+        return max(self.medians) - min(self.medians)
+
+
+def deployment_sensitivity(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    num_messages: int = 800,
+) -> DeploymentSensitivity:
+    result = DeploymentSensitivity(seeds=list(seeds), medians=[])
+    for seed in seeds:
+        run = run_deployment_experiment(
+            num_messages=num_messages, seed=seed
+        )
+        delays = run.delays
+        result.medians.append(median(delays))
+        result.median_cis.append(
+            bootstrap_ci(delays, median, seed=seed, resamples=300)
+        )
+        result.within_10min.append(run.fraction_delivered_within(600.0))
+    return result
+
+
+def verdicts_seed_invariant(seeds: Sequence[int] = (3, 11, 23)) -> bool:
+    """Table II verdicts must not depend on the seed."""
+    reference: Dict[str, bool] = None
+    for seed in seeds:
+        matrix = build_defense_matrix(seed=seed, recipients=2)
+        verdicts = {
+            **{
+                f"grey:{k}": v
+                for k, v in matrix.family_verdicts(Defense.GREYLISTING).items()
+            },
+            **{
+                f"nolist:{k}": v
+                for k, v in matrix.family_verdicts(Defense.NOLISTING).items()
+            },
+        }
+        if reference is None:
+            reference = verdicts
+        elif verdicts != reference:
+            return False
+    return True

@@ -1,0 +1,98 @@
+"""The webmail retry experiment (paper §V.B, Table III).
+
+For each of the ten providers: create an account, send one message to a
+test mailbox on a server greylisted at six hours (with Postgrey's default
+provider whitelist removed), and record every delivery attempt.  Here the
+provider models play their measured schedules against the real greylisting
+implementation, regenerating the SAME IP / ATTEMPTS / DELIVER / DELAYS
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..net.address import AddressPool, IPv4Network
+from ..sim.clock import format_duration
+from ..smtp.client import SMTPClient
+from ..smtp.message import Message
+from ..webmail.provider import DeliveryOutcome, ProviderSpec, WebmailDelivery
+from ..webmail.providers import PROVIDERS
+from .testbed import Defense, Testbed, TestbedConfig
+
+#: The experiment's "excessively large" threshold: six hours.
+SIX_HOURS = 21600.0
+
+
+@dataclass
+class WebmailRow:
+    """One reproduced row of Table III."""
+
+    provider: str
+    same_ip: bool
+    ip_pool_size: int
+    attempts: int
+    delivered: bool
+    retry_delays: List[float]        # seconds, re-transmissions only
+    delivery_age: Optional[float]
+
+    def delays_mmss(self) -> List[str]:
+        return [format_duration(delay) for delay in self.retry_delays]
+
+
+def run_provider(
+    spec: ProviderSpec,
+    threshold: float = SIX_HOURS,
+    seed_domain: str = "victim.example",
+    horizon: float = 60 * 86400.0,
+) -> WebmailRow:
+    """Play one provider's schedule against a greylisted server."""
+    testbed = Testbed(
+        TestbedConfig(
+            defense=Defense.GREYLISTING,
+            victim_domain=seed_domain,
+            greylist_delay=threshold,
+            greylist_whitelist=None,  # stock whitelist removed, as in §V.B
+        )
+    )
+    provider_pool = AddressPool(IPv4Network.parse("203.0.113.0/24"))
+    client = SMTPClient(
+        internet=testbed.internet,
+        resolver=testbed.resolver,
+        source_address=provider_pool.allocate(),
+        helo_name=f"out1.{spec.name}",
+    )
+    delivery = WebmailDelivery(
+        spec=spec,
+        scheduler=testbed.scheduler,
+        client=client,
+        address_pool=provider_pool,
+    )
+    message = Message(
+        sender=f"tester@{spec.name}",
+        recipients=[f"testaccount@{seed_domain}"],
+        subject="greylisting probe",
+        body="one message per provider, as in the paper",
+    )
+    outcome: DeliveryOutcome = delivery.deliver(
+        message, f"testaccount@{seed_domain}"
+    )
+    testbed.run(horizon=horizon)
+    return WebmailRow(
+        provider=spec.name,
+        same_ip=spec.uses_single_ip,
+        ip_pool_size=spec.ip_pool_size,
+        attempts=outcome.attempts,
+        delivered=outcome.delivered,
+        retry_delays=outcome.retry_ages,
+        delivery_age=outcome.delivery_age,
+    )
+
+
+def run_webmail_experiment(
+    providers: Sequence[ProviderSpec] = PROVIDERS,
+    threshold: float = SIX_HOURS,
+) -> List[WebmailRow]:
+    """Reproduce all of Table III."""
+    return [run_provider(spec, threshold=threshold) for spec in providers]

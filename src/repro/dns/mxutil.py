@@ -1,0 +1,116 @@
+"""RFC 5321 MX-set handling.
+
+Ordering and target-selection rules for mail exchangers: sort by preference
+(lowest first), break ties deterministically, and resolve each exchange to an
+address — falling back to an explicit follow-up A query when the MX answer's
+additional section omitted the glue (the case the paper's parallel scanner
+had to handle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.address import IPv4Address
+from .records import MXRecord
+from .resolver import DNSError, MXAnswer, StubResolver
+
+
+@dataclass(frozen=True)
+class MailExchanger:
+    """A fully resolved mail exchanger candidate."""
+
+    preference: int
+    hostname: str
+    address: Optional[IPv4Address]
+
+    @property
+    def resolvable(self) -> bool:
+        return self.address is not None
+
+
+def sort_mx(records: List[MXRecord]) -> List[MXRecord]:
+    """Order MX records per RFC 5321: ascending preference, name tiebreak."""
+    return sorted(records, key=lambda r: (r.preference, r.exchange))
+
+
+def shuffle_equal_preferences(
+    exchangers: List["MailExchanger"], rng
+) -> List["MailExchanger"]:
+    """Randomize order within equal-preference groups (RFC 5321 §5.1).
+
+    "If there are multiple destinations with the same preference ... the
+    sender-SMTP MUST randomize them to spread the load."  Groups stay in
+    ascending-preference order; only their internal order is shuffled.
+    """
+    result: List[MailExchanger] = []
+    group: List[MailExchanger] = []
+    current: int = None
+    for exchanger in exchangers:
+        if current is None or exchanger.preference == current:
+            group.append(exchanger)
+            current = exchanger.preference
+        else:
+            rng.shuffle(group)
+            result.extend(group)
+            group = [exchanger]
+            current = exchanger.preference
+    if group:
+        rng.shuffle(group)
+        result.extend(group)
+    return result
+
+
+def resolve_exchangers(
+    resolver: StubResolver, domain: str, follow_up: bool = True
+) -> List[MailExchanger]:
+    """Resolve a domain's complete, ordered mail-exchanger list.
+
+    Parameters
+    ----------
+    resolver:
+        The stub resolver to query.
+    domain:
+        Target domain.
+    follow_up:
+        When ``True`` (the RFC-compliant behaviour), exchanges missing from
+        the MX answer's additional section are re-resolved with explicit A
+        queries.  When ``False`` the caller only sees the glue that came with
+        the answer — modelling lazy clients and unpatched scan pipelines.
+
+    Raises whatever DNS error the MX query raises (NXDomain / ServFail).
+    Exchanges that fail to resolve are kept with ``address=None`` so callers
+    can observe partial misconfiguration.
+    """
+    answer: MXAnswer = resolver.resolve_mx(domain)
+    exchangers: List[MailExchanger] = []
+    for mx in sort_mx(answer.records):
+        address = answer.additional.get(mx.exchange)
+        if address is None and follow_up:
+            try:
+                address = resolver.resolve_address(mx.exchange)
+            except DNSError:
+                address = None
+        exchangers.append(
+            MailExchanger(
+                preference=mx.preference,
+                hostname=mx.exchange,
+                address=address,
+            )
+        )
+    return exchangers
+
+
+def implicit_mx(
+    resolver: StubResolver, domain: str
+) -> Optional[MailExchanger]:
+    """RFC 5321 §5.1 implicit MX: fall back to the domain's own A record.
+
+    Returns ``None`` when the domain has no A record either.
+    """
+    try:
+        address = resolver.resolve_address(domain)
+    except DNSError:
+        return None
+    return MailExchanger(preference=0, hostname=domain, address=address)

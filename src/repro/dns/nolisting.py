@@ -1,0 +1,156 @@
+"""Nolisting zone construction.
+
+Nolisting registers a *non-functional* primary MX (an address with port 25
+closed) ahead of the real mail server.  RFC-compliant senders fall through to
+the secondary; primary-only bots fail.  This module builds the DNS + host
+configuration for a nolisted domain in one call, and also offers the plain
+(single-MX and multi-MX) configurations used as controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..net.address import AddressPool, IPv4Address
+from ..net.host import SMTP_PORT, VirtualHost
+from ..net.network import VirtualInternet
+from .zone import Zone, ZoneStore
+
+# A factory producing the SMTP listener session for a working mail host.
+SMTPFactory = Callable[[IPv4Address], object]
+
+
+@dataclass
+class MailDomainSetup:
+    """Everything created for one mail domain."""
+
+    domain: str
+    zone: Zone
+    hosts: List[VirtualHost]
+    mx_hostnames: List[str]
+
+    @property
+    def primary_host(self) -> VirtualHost:
+        return self.hosts[0]
+
+
+def _register_mail_host(
+    internet: VirtualInternet,
+    hostname: str,
+    address: IPv4Address,
+    listening: bool,
+    factory: Optional[SMTPFactory],
+) -> VirtualHost:
+    host = VirtualHost(hostname, [address])
+    if listening:
+        if factory is None:
+            raise ValueError(f"host {hostname} should listen but has no factory")
+        host.listen(SMTP_PORT, factory)
+    internet.register(host)
+    return host
+
+
+def setup_single_mx(
+    internet: VirtualInternet,
+    zones: ZoneStore,
+    pool: AddressPool,
+    domain: str,
+    factory: SMTPFactory,
+    preference: int = 10,
+) -> MailDomainSetup:
+    """A plain domain with one working MX (the 47.7 % majority in Figure 2)."""
+    zone = zones.get_or_create(domain)
+    mx_name = f"smtp.{domain}"
+    address = pool.allocate()
+    zone.add_a(mx_name, address)
+    zone.add_mx(preference, mx_name)
+    host = _register_mail_host(internet, mx_name, address, True, factory)
+    return MailDomainSetup(domain, zone, [host], [mx_name])
+
+
+def setup_multi_mx(
+    internet: VirtualInternet,
+    zones: ZoneStore,
+    pool: AddressPool,
+    domain: str,
+    factory: SMTPFactory,
+    count: int = 2,
+) -> MailDomainSetup:
+    """A domain with ``count`` working MX hosts at increasing preference."""
+    if count < 2:
+        raise ValueError("multi-MX setup needs at least two exchangers")
+    zone = zones.get_or_create(domain)
+    hosts: List[VirtualHost] = []
+    names: List[str] = []
+    for index in range(count):
+        mx_name = f"smtp{index}.{domain}" if index else f"smtp.{domain}"
+        address = pool.allocate()
+        zone.add_a(mx_name, address)
+        zone.add_mx((index + 1) * 10, mx_name)
+        hosts.append(
+            _register_mail_host(internet, mx_name, address, True, factory)
+        )
+        names.append(mx_name)
+    return MailDomainSetup(domain, zone, hosts, names)
+
+
+def setup_nolisting(
+    internet: VirtualInternet,
+    zones: ZoneStore,
+    pool: AddressPool,
+    domain: str,
+    factory: SMTPFactory,
+    primary_preference: int = 0,
+    secondary_preference: int = 15,
+) -> MailDomainSetup:
+    """A nolisted domain, mirroring Figure 1 of the paper.
+
+    The primary MX (``smtp.domain``, preference 0) resolves to a real host
+    whose port 25 is **closed** — connections are actively refused, exactly
+    as the technique's authors recommend (a proper A record pointing at a
+    machine that RSTs, indistinguishable from a malfunctioning server).  The
+    secondary MX (``smtp1.domain``) runs the actual mail service.
+    """
+    zone = zones.get_or_create(domain)
+    primary_name = f"smtp.{domain}"
+    secondary_name = f"smtp1.{domain}"
+    primary_address = pool.allocate()
+    secondary_address = pool.allocate()
+    zone.add_a(primary_name, primary_address)
+    zone.add_a(secondary_name, secondary_address)
+    zone.add_mx(primary_preference, primary_name)
+    zone.add_mx(secondary_preference, secondary_name)
+    primary = _register_mail_host(
+        internet, primary_name, primary_address, False, None
+    )
+    secondary = _register_mail_host(
+        internet, secondary_name, secondary_address, True, factory
+    )
+    return MailDomainSetup(
+        domain, zone, [primary, secondary], [primary_name, secondary_name]
+    )
+
+
+def setup_misconfigured(
+    zones: ZoneStore,
+    domain: str,
+    mode: str = "no-mx",
+) -> Zone:
+    """A broken domain of the kind the DNS-ANY dataset contains.
+
+    Modes
+    -----
+    ``no-mx``:
+        The zone exists but has no MX records at all.
+    ``dangling-mx``:
+        The MX points at an exchange with no A record anywhere.
+    """
+    zone = zones.get_or_create(domain)
+    if mode == "no-mx":
+        zone.add_txt(domain, "v=misconfigured")
+    elif mode == "dangling-mx":
+        zone.add_mx(10, f"ghost.{domain}")
+    else:
+        raise ValueError(f"unknown misconfiguration mode {mode!r}")
+    return zone

@@ -1,0 +1,213 @@
+"""Stub resolver with caching and error semantics.
+
+The resolver answers A / MX / ANY queries against a :class:`ZoneStore`.  It
+implements the behaviours the paper's measurement pipeline depends on:
+
+* **NXDOMAIN** vs **NODATA** distinction (a domain that exists but lacks MX
+  records is "no data", not "no domain");
+* **additional-section elision** — real DNS answers often omit the glue A
+  record for an MX exchange, forcing the client to issue a second query.
+  The paper's authors had to build a "parallel scanner" to re-resolve those;
+  our resolver models elision probabilistically so the scan pipeline must do
+  the same;
+* a positive **cache** honouring TTLs against the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.address import IPv4Address
+from ..sim.clock import Clock
+from ..sim.rng import RandomStream
+from .records import ARecord, MXRecord, normalize_name
+from .zone import ZoneStore
+
+
+class DNSError(Exception):
+    """Base class for resolution failures."""
+
+
+class NXDomain(DNSError):
+    """The queried name does not exist in any zone."""
+
+
+class ServFail(DNSError):
+    """The authoritative server failed (simulated outage)."""
+
+
+@dataclass
+class MXAnswer:
+    """Answer to an MX query.
+
+    ``additional`` carries the glue A records the server chose to include;
+    exchanges absent from it must be resolved with a follow-up A query
+    (mirroring the incomplete records in the scans.io DNS-ANY dataset).
+    """
+
+    name: str
+    records: List[MXRecord]
+    additional: Dict[str, IPv4Address] = field(default_factory=dict)
+
+
+class StubResolver:
+    """Caching stub resolver over an authoritative :class:`ZoneStore`.
+
+    Parameters
+    ----------
+    zones:
+        Authoritative data.
+    clock:
+        Simulation clock used for TTL accounting.  Optional; without a clock
+        the cache never expires (fine for single-instant scans).
+    glue_elision_rate:
+        Probability that the glue A record for an MX exchange is omitted
+        from the additional section (0 disables elision).
+    rng:
+        Randomness for glue elision; required when ``glue_elision_rate > 0``.
+    """
+
+    def __init__(
+        self,
+        zones: ZoneStore,
+        clock: Optional[Clock] = None,
+        glue_elision_rate: float = 0.0,
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        if not 0.0 <= glue_elision_rate <= 1.0:
+            raise ValueError("glue_elision_rate must be within [0, 1]")
+        if glue_elision_rate > 0 and rng is None:
+            raise ValueError("glue elision requires an rng")
+        self.zones = zones
+        self.clock = clock
+        self.glue_elision_rate = glue_elision_rate
+        self._rng = rng
+        self._a_cache: Dict[str, Tuple[float, List[ARecord]]] = {}
+        self._mx_cache: Dict[str, Tuple[float, List[MXRecord]]] = {}
+        self.queries = 0
+        self.cache_hits = 0
+        self._broken_zones: set = set()
+        #: chronological (qtype, name, answer-summary) triples of every
+        #: authoritative query — the wire trace Figure 1 renders.
+        self.query_log: List[Tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def break_zone(self, apex: str) -> None:
+        """Make every query under ``apex`` SERVFAIL (simulated outage)."""
+        self._broken_zones.add(normalize_name(apex))
+
+    def repair_zone(self, apex: str) -> None:
+        self._broken_zones.discard(normalize_name(apex))
+
+    def _check_broken(self, name: str) -> None:
+        labels = name.split(".")
+        for i in range(len(labels)):
+            if ".".join(labels[i:]) in self._broken_zones:
+                raise ServFail(f"authoritative server for {name!r} failed")
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def _cache_get(self, cache: Dict, name: str) -> Optional[list]:
+        hit = cache.get(name)
+        if hit is None:
+            return None
+        expires, records = hit
+        if self.clock is not None and self._now() >= expires:
+            del cache[name]
+            return None
+        self.cache_hits += 1
+        return records
+
+    def _cache_put(self, cache: Dict, name: str, records: list) -> None:
+        if not records:
+            return
+        ttl = min(r.ttl for r in records)
+        cache[name] = (self._now() + ttl, records)
+
+    def flush_cache(self) -> None:
+        self._a_cache.clear()
+        self._mx_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve_a(self, name: str) -> List[ARecord]:
+        """A query.  Raises NXDomain; returns [] for NODATA."""
+        name = normalize_name(name)
+        cached = self._cache_get(self._a_cache, name)
+        if cached is not None:
+            return list(cached)
+        self.queries += 1
+        self._check_broken(name)
+        zone = self.zones.zone_for(name)
+        if zone is None:
+            self.query_log.append(("A", name, "NXDOMAIN"))
+            raise NXDomain(name)
+        records = zone.a_records(name)
+        if not records and name not in zone.names() and name != zone.apex:
+            self.query_log.append(("A", name, "NXDOMAIN"))
+            raise NXDomain(name)
+        self.query_log.append(
+            ("A", name, ", ".join(str(r.address) for r in records) or "NODATA")
+        )
+        self._cache_put(self._a_cache, name, records)
+        return records
+
+    def resolve_address(self, name: str) -> IPv4Address:
+        """Resolve a hostname to its first A address; raises on NODATA."""
+        records = self.resolve_a(name)
+        if not records:
+            raise NXDomain(f"{name} has no A record")
+        return records[0].address
+
+    def resolve_mx(self, domain: str) -> MXAnswer:
+        """MX query with (possibly elided) glue in the additional section."""
+        domain = normalize_name(domain)
+        cached = self._cache_get(self._mx_cache, domain)
+        if cached is not None:
+            records = list(cached)
+        else:
+            self.queries += 1
+            self._check_broken(domain)
+            zone = self.zones.zone_for(domain)
+            if zone is None:
+                self.query_log.append(("MX", domain, "NXDOMAIN"))
+                raise NXDomain(domain)
+            records = zone.mx_records(domain)
+            self.query_log.append(
+                (
+                    "MX",
+                    domain,
+                    "; ".join(
+                        f"MX {r.preference} {r.exchange}"
+                        for r in sorted(records, key=lambda r: r.preference)
+                    )
+                    or "NODATA",
+                )
+            )
+            self._cache_put(self._mx_cache, domain, records)
+        additional: Dict[str, IPv4Address] = {}
+        for mx in records:
+            if self.glue_elision_rate > 0 and self._rng is not None:
+                if self._rng.random() < self.glue_elision_rate:
+                    continue  # server elided the glue record
+            try:
+                a_records = self.resolve_a(mx.exchange)
+            except DNSError:
+                continue
+            if a_records:
+                additional[mx.exchange] = a_records[0].address
+        return MXAnswer(name=domain, records=records, additional=additional)
+
+    def __repr__(self) -> str:
+        return (
+            f"StubResolver(queries={self.queries}, "
+            f"cache_hits={self.cache_hits})"
+        )

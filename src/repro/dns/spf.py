@@ -1,0 +1,178 @@
+"""SPF (Sender Policy Framework) records and evaluation.
+
+SPF is the canonical sender-based pre-acceptance test the paper's
+introduction groups greylisting and nolisting with (it cites openspf.org
+among the sender-authentication approaches): the receiving server fetches
+the sender domain's SPF policy from DNS (a TXT record) and checks whether
+the connecting client address is authorized to send for that domain.
+
+We implement the useful subset of RFC 7208: ``ip4`` mechanisms (with CIDR
+lengths), ``a``/``mx`` mechanisms resolved through the simulated DNS, the
+``all`` terminal, and the ``+ - ~ ?`` qualifiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..net.address import AddressError, IPv4Address, IPv4Network
+from .records import normalize_name
+from .resolver import DNSError, StubResolver
+
+
+class SPFResult(enum.Enum):
+    """RFC 7208 evaluation results (the subset that matters here)."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    SOFTFAIL = "softfail"
+    NEUTRAL = "neutral"
+    NONE = "none"          # no SPF record published
+    PERMERROR = "permerror"  # unparseable record
+
+
+_QUALIFIERS = {
+    "+": SPFResult.PASS,
+    "-": SPFResult.FAIL,
+    "~": SPFResult.SOFTFAIL,
+    "?": SPFResult.NEUTRAL,
+}
+
+
+@dataclass(frozen=True)
+class SPFMechanism:
+    """One mechanism of an SPF record."""
+
+    qualifier: SPFResult
+    kind: str                      # "ip4", "a", "mx", "all"
+    value: Optional[str] = None    # the ip4 network, or None
+
+    def __str__(self) -> str:
+        prefix = {v: k for k, v in _QUALIFIERS.items()}[self.qualifier]
+        prefix = "" if prefix == "+" else prefix
+        if self.kind == "ip4":
+            return f"{prefix}ip4:{self.value}"
+        return f"{prefix}{self.kind}"
+
+
+@dataclass(frozen=True)
+class SPFRecord:
+    """A parsed ``v=spf1`` policy."""
+
+    domain: str
+    mechanisms: Tuple[SPFMechanism, ...]
+
+    def __str__(self) -> str:
+        terms = " ".join(str(m) for m in self.mechanisms)
+        return f"v=spf1 {terms}".strip()
+
+
+class SPFSyntaxError(ValueError):
+    """Raised for records we cannot parse."""
+
+
+def parse_spf(domain: str, text: str) -> SPFRecord:
+    """Parse a ``v=spf1 ...`` TXT payload.
+
+    >>> record = parse_spf("x.net", "v=spf1 ip4:10.0.0.0/24 mx -all")
+    >>> [m.kind for m in record.mechanisms]
+    ['ip4', 'mx', 'all']
+    """
+    tokens = text.strip().split()
+    if not tokens or tokens[0].lower() != "v=spf1":
+        raise SPFSyntaxError(f"not an SPF record: {text!r}")
+    mechanisms: List[SPFMechanism] = []
+    for token in tokens[1:]:
+        qualifier = SPFResult.PASS
+        if token and token[0] in _QUALIFIERS:
+            qualifier = _QUALIFIERS[token[0]]
+            token = token[1:]
+        token = token.lower()
+        if token == "all":
+            mechanisms.append(SPFMechanism(qualifier, "all"))
+        elif token in ("a", "mx"):
+            mechanisms.append(SPFMechanism(qualifier, token))
+        elif token.startswith("ip4:"):
+            value = token[4:]
+            if "/" not in value:
+                value += "/32"
+            try:
+                IPv4Network.parse(value)
+            except AddressError as exc:
+                raise SPFSyntaxError(f"bad ip4 network in {token!r}") from exc
+            mechanisms.append(SPFMechanism(qualifier, "ip4", value))
+        else:
+            raise SPFSyntaxError(f"unsupported SPF term {token!r}")
+    return SPFRecord(domain=normalize_name(domain), mechanisms=tuple(mechanisms))
+
+
+def publish_spf(zone, domain: str, policy: str) -> None:
+    """Add an SPF TXT record to a zone (validating it first)."""
+    parse_spf(domain, policy)
+    zone.add_txt(domain, policy)
+
+
+class SPFEvaluator:
+    """Evaluates the SPF policy of sender domains against client IPs."""
+
+    def __init__(self, resolver: StubResolver) -> None:
+        self.resolver = resolver
+        self.evaluations = 0
+
+    def lookup_record(self, domain: str) -> Optional[SPFRecord]:
+        """Fetch and parse a domain's SPF record (None when absent)."""
+        zone = self.resolver.zones.zone_for(domain)
+        if zone is None:
+            return None
+        for record in zone.txt_records(domain):
+            if record.text.lower().startswith("v=spf1"):
+                return parse_spf(domain, record.text)
+        return None
+
+    def check(self, client: IPv4Address, sender_domain: str) -> SPFResult:
+        """RFC 7208 check_host() for our mechanism subset."""
+        self.evaluations += 1
+        try:
+            record = self.lookup_record(sender_domain)
+        except SPFSyntaxError:
+            return SPFResult.PERMERROR
+        if record is None:
+            return SPFResult.NONE
+        for mechanism in record.mechanisms:
+            if self._matches(mechanism, client, sender_domain):
+                return mechanism.qualifier
+        return SPFResult.NEUTRAL
+
+    def _matches(
+        self, mechanism: SPFMechanism, client: IPv4Address, domain: str
+    ) -> bool:
+        if mechanism.kind == "all":
+            return True
+        if mechanism.kind == "ip4":
+            return client in IPv4Network.parse(mechanism.value)
+        if mechanism.kind == "a":
+            try:
+                return any(
+                    record.address == client
+                    for record in self.resolver.resolve_a(domain)
+                )
+            except DNSError:
+                return False
+        if mechanism.kind == "mx":
+            try:
+                answer = self.resolver.resolve_mx(domain)
+            except DNSError:
+                return False
+            for mx in answer.records:
+                address = answer.additional.get(mx.exchange)
+                if address is None:
+                    try:
+                        address = self.resolver.resolve_address(mx.exchange)
+                    except DNSError:
+                        continue
+                if address == client:
+                    return True
+            return False
+        return False

@@ -1,0 +1,58 @@
+"""Greylisting: triplet store, Postgrey-compatible policy, whitelists,
+persistence and cost accounting."""
+
+from .cost import (
+    BYTES_PER_DEFERRED_ATTEMPT,
+    BYTES_PER_RETRY_PREAMBLE,
+    GreylistCostReport,
+    measure_cost,
+)
+from .persistence import (
+    FORMAT_HEADER,
+    PersistenceError,
+    dump_store,
+    load_store,
+    save_compacted,
+    snapshot_size_bytes,
+)
+from .keying import KeyStrategy, derive_key, resists_sender_rotation
+from .policy import (
+    DEFAULT_DELAY,
+    GreylistAction,
+    GreylistEvent,
+    GreylistPolicy,
+)
+from .store import DAY, TripletEntry, TripletStore
+from .triplet import Triplet
+from .whitelist import (
+    DEFAULT_WHITELISTED_DOMAINS,
+    Whitelist,
+    default_provider_whitelist,
+)
+
+__all__ = [
+    "BYTES_PER_DEFERRED_ATTEMPT",
+    "BYTES_PER_RETRY_PREAMBLE",
+    "DAY",
+    "DEFAULT_DELAY",
+    "FORMAT_HEADER",
+    "GreylistCostReport",
+    "PersistenceError",
+    "dump_store",
+    "load_store",
+    "measure_cost",
+    "save_compacted",
+    "snapshot_size_bytes",
+    "DEFAULT_WHITELISTED_DOMAINS",
+    "GreylistAction",
+    "GreylistEvent",
+    "GreylistPolicy",
+    "KeyStrategy",
+    "derive_key",
+    "resists_sender_rotation",
+    "Triplet",
+    "TripletEntry",
+    "TripletStore",
+    "Whitelist",
+    "default_provider_whitelist",
+]

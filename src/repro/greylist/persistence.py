@@ -1,0 +1,113 @@
+"""Triplet-database persistence.
+
+Postgrey keeps its triplet state in an on-disk BerkeleyDB; restarts must
+not forget who already passed (or every sender would eat the delay again).
+This module provides a text snapshot format for :class:`TripletStore` —
+dump, load, and a compacting save that drops expired entries, mirroring
+Postgrey's periodic database cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from ..net.address import IPv4Address
+from ..sim.clock import Clock
+from .store import TripletEntry, TripletStore
+from .triplet import Triplet
+
+#: Snapshot format version, checked on load.
+FORMAT_HEADER = "# repro-greylist-db v1"
+
+
+class PersistenceError(ValueError):
+    """Raised for malformed snapshots."""
+
+
+def dump_store(store: TripletStore) -> str:
+    """Serialize the live entries of a store.
+
+    One line per triplet::
+
+        <client-ip> <sender> <recipient> <first> <last> <attempts> <passed-at|->
+    """
+    lines: List[str] = [FORMAT_HEADER]
+    for entry in sorted(
+        store.entries(), key=lambda e: (e.first_seen, str(e.triplet.client))
+    ):
+        # repr() gives the shortest exact decimal for the float, so a
+        # dump/load round trip preserves timestamps bit-for-bit.
+        passed = repr(entry.passed_at) if entry.passed else "-"
+        lines.append(
+            f"{entry.triplet.client} {entry.triplet.sender} "
+            f"{entry.triplet.recipient} {entry.first_seen!r} "
+            f"{entry.last_seen!r} {entry.attempts} {passed}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load_store(
+    text: str,
+    clock: Clock,
+    retry_window: float = None,
+    whitelist_lifetime: float = None,
+) -> TripletStore:
+    """Rebuild a store from a snapshot.
+
+    Entries that are already expired relative to ``clock.now`` are dropped
+    on load (the same semantics a live lookup would apply).
+    """
+    kwargs = {}
+    if retry_window is not None:
+        kwargs["retry_window"] = retry_window
+    if whitelist_lifetime is not None:
+        kwargs["whitelist_lifetime"] = whitelist_lifetime
+    store = TripletStore(clock, **kwargs)
+
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != FORMAT_HEADER:
+        raise PersistenceError("missing or unknown snapshot header")
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 7:
+            raise PersistenceError(
+                f"malformed snapshot line {line_number}: {line!r}"
+            )
+        client, sender, recipient, first, last, attempts, passed = parts
+        triplet = Triplet(IPv4Address.parse(client), sender, recipient)
+        entry = TripletEntry(
+            triplet=triplet,
+            first_seen=float(first),
+            last_seen=float(last),
+            attempts=int(attempts),
+            passed=(passed != "-"),
+            passed_at=None if passed == "-" else float(passed),
+        )
+        if entry.attempts < 1 or entry.last_seen < entry.first_seen:
+            raise PersistenceError(
+                f"inconsistent entry on snapshot line {line_number}"
+            )
+        if store._is_expired(entry):
+            continue
+        store._entries[triplet] = entry
+    return store
+
+
+def save_compacted(store: TripletStore, stream: TextIO) -> int:
+    """Sweep expired entries, then write the snapshot to ``stream``.
+
+    Returns the number of entries written.  This is the Postgrey
+    ``--max-age`` cleanup fused with the database save.
+    """
+    store.sweep()
+    text = dump_store(store)
+    stream.write(text)
+    return store.size
+
+
+def snapshot_size_bytes(store: TripletStore) -> int:
+    """Size of the serialized database — the §VI disk-cost metric."""
+    return len(dump_store(store).encode("utf-8"))

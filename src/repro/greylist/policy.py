@@ -1,0 +1,236 @@
+"""Postgrey-compatible greylisting policy.
+
+Decision procedure for an incoming RCPT, per the Postgrey semantics the
+paper's testbed used:
+
+1. whitelisted client/sender → accept immediately;
+2. unknown triplet → record it, defer with 450 ("Greylisted");
+3. known triplet younger than the *delay threshold* → defer again (the
+   attempt still refreshes last-seen, and counts);
+4. known triplet at least ``delay`` old → accept, mark the triplet passed
+   (auto-whitelisted for ``whitelist_lifetime``), and optionally promote the
+   client to an IP-level auto-whitelist after ``auto_whitelist_clients``
+   successful triplets (Postgrey ``--auto-whitelist-clients``).
+
+The policy plugs into :class:`repro.smtp.server.SMTPServer` via the
+``on_rcpt_to`` hook and records one :class:`GreylistEvent` per decision —
+the anonymized attempt log of the university dataset is exactly a dump of
+those events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.address import IPv4Address
+from ..sim.clock import Clock
+from ..smtp import replies
+from ..smtp.server import ConnectionPolicy, PolicyDecision
+from .keying import KeyStrategy, derive_key
+from .store import TripletStore
+from .triplet import Triplet
+from .whitelist import Whitelist
+
+#: Default Postgrey delay (seconds) — also the paper's university threshold.
+DEFAULT_DELAY = 300.0
+
+
+class GreylistAction(enum.Enum):
+    """What the policy did with an attempt."""
+
+    WHITELISTED = "whitelisted"          # static whitelist hit
+    AUTO_WHITELISTED = "auto-whitelisted"  # client earned IP-level pass
+    GREYLISTED_NEW = "greylisted-new"    # first sighting, deferred
+    GREYLISTED_EARLY = "greylisted-early"  # retry before threshold, deferred
+    PASSED = "passed"                    # retry after threshold, accepted
+    PASSED_KNOWN = "passed-known"        # triplet already confirmed
+
+
+@dataclass
+class GreylistEvent:
+    """One policy decision, as logged."""
+
+    timestamp: float
+    triplet: Triplet
+    action: GreylistAction
+    attempt_number: int
+    triplet_age: float
+
+    @property
+    def deferred(self) -> bool:
+        return self.action in (
+            GreylistAction.GREYLISTED_NEW,
+            GreylistAction.GREYLISTED_EARLY,
+        )
+
+
+class GreylistPolicy(ConnectionPolicy):
+    """The greylisting pre-acceptance policy.
+
+    Parameters
+    ----------
+    clock:
+        Simulation clock.
+    delay:
+        The greylisting threshold in seconds (paper sweeps 5 / 300 / 21600).
+    store:
+        Triplet database; a fresh one is created if omitted.
+    whitelist:
+        Static whitelist (empty by default — the paper removed Postgrey's
+        stock whitelist for the Table III experiment).
+    network_prefix:
+        When set (e.g. 24), triplets are keyed on the client's /prefix
+        network instead of the exact address, tolerating provider IP pools.
+        (Shorthand for ``key_strategy=CLIENT_NET_TRIPLET``.)
+    auto_whitelist_clients:
+        After this many *passed* triplets, the client IP skips greylisting
+        entirely (0 disables, mirroring ``--auto-whitelist-clients=N``).
+    key_strategy:
+        Which greylisting variant to run (see
+        :mod:`repro.greylist.keying`).  Defaults to the classic full
+        triplet.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        delay: float = DEFAULT_DELAY,
+        store: Optional[TripletStore] = None,
+        whitelist: Optional[Whitelist] = None,
+        network_prefix: Optional[int] = None,
+        auto_whitelist_clients: int = 0,
+        key_strategy: KeyStrategy = KeyStrategy.FULL_TRIPLET,
+    ) -> None:
+        if delay < 0:
+            raise ValueError("greylisting delay must be non-negative")
+        if network_prefix is not None and not 0 <= network_prefix <= 32:
+            raise ValueError(f"invalid network prefix {network_prefix}")
+        if auto_whitelist_clients < 0:
+            raise ValueError("auto_whitelist_clients must be >= 0")
+        self.clock = clock
+        self.delay = float(delay)
+        self.store = store if store is not None else TripletStore(clock)
+        self.whitelist = whitelist if whitelist is not None else Whitelist()
+        self.network_prefix = network_prefix
+        self.auto_whitelist_clients = auto_whitelist_clients
+        if network_prefix is not None and key_strategy is KeyStrategy.FULL_TRIPLET:
+            key_strategy = KeyStrategy.CLIENT_NET_TRIPLET
+        self.key_strategy = key_strategy
+        self.events: List[GreylistEvent] = []
+        self._client_passes: dict = {}
+        self._auto_whitelisted: set = set()
+
+    # ------------------------------------------------------------------
+    # Key normalization
+    # ------------------------------------------------------------------
+    def _key(self, client: IPv4Address, sender: str, recipient: str) -> Triplet:
+        return derive_key(
+            self.key_strategy,
+            client,
+            sender,
+            recipient,
+            network_prefix=self.network_prefix or 24,
+        )
+
+    # ------------------------------------------------------------------
+    # SMTP policy hook
+    # ------------------------------------------------------------------
+    def on_rcpt_to(
+        self, client: IPv4Address, sender: str, recipient: str
+    ) -> PolicyDecision:
+        triplet = self._key(client, sender, recipient)
+        now = self.clock.now
+
+        if self.whitelist.matches(client, sender):
+            self._log(triplet, GreylistAction.WHITELISTED, 0, 0.0)
+            return PolicyDecision.ok()
+        if client in self._auto_whitelisted:
+            self._log(triplet, GreylistAction.AUTO_WHITELISTED, 0, 0.0)
+            return PolicyDecision.ok()
+
+        entry = self.store.observe(triplet)
+        age = now - entry.first_seen
+
+        if entry.passed:
+            self._log(triplet, GreylistAction.PASSED_KNOWN, entry.attempts, age)
+            return PolicyDecision.ok()
+
+        if entry.attempts == 1:
+            # Brand-new triplet: defer unconditionally (even with delay=0 a
+            # second attempt is required — Postgrey semantics).
+            self._log(triplet, GreylistAction.GREYLISTED_NEW, entry.attempts, age)
+            return PolicyDecision.reject(replies.greylisted(self.delay))
+
+        if age < self.delay:
+            self._log(
+                triplet, GreylistAction.GREYLISTED_EARLY, entry.attempts, age
+            )
+            return PolicyDecision.reject(
+                replies.greylisted(self.delay - age)
+            )
+
+        self.store.mark_passed(triplet)
+        self._log(triplet, GreylistAction.PASSED, entry.attempts, age)
+        self._credit_client(client)
+        return PolicyDecision.ok()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _credit_client(self, client: IPv4Address) -> None:
+        if self.auto_whitelist_clients <= 0:
+            return
+        count = self._client_passes.get(client, 0) + 1
+        self._client_passes[client] = count
+        if count >= self.auto_whitelist_clients:
+            self._auto_whitelisted.add(client)
+
+    def _log(
+        self,
+        triplet: Triplet,
+        action: GreylistAction,
+        attempt_number: int,
+        age: float,
+    ) -> None:
+        self.events.append(
+            GreylistEvent(
+                timestamp=self.clock.now,
+                triplet=triplet,
+                action=action,
+                attempt_number=attempt_number,
+                triplet_age=age,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection used by the analysis layer
+    # ------------------------------------------------------------------
+    def deferrals(self) -> List[GreylistEvent]:
+        return [e for e in self.events if e.deferred]
+
+    def passes(self) -> List[GreylistEvent]:
+        return [
+            e
+            for e in self.events
+            if e.action in (GreylistAction.PASSED, GreylistAction.PASSED_KNOWN)
+        ]
+
+    def pass_delay(self, triplet: Triplet) -> Optional[float]:
+        """Time from first sighting to first PASS for a triplet, if any."""
+        first_seen: Optional[float] = None
+        for event in self.events:
+            if event.triplet != triplet:
+                continue
+            if first_seen is None:
+                first_seen = event.timestamp
+            if event.action is GreylistAction.PASSED:
+                return event.timestamp - first_seen
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"GreylistPolicy(delay={self.delay}, events={len(self.events)}, "
+            f"store={self.store.size})"
+        )

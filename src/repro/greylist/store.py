@@ -1,0 +1,130 @@
+"""Triplet database with expiry.
+
+Models the Postgrey on-disk database: per-triplet state (first-seen time,
+attempt count, whether it has passed), plus the two expiry windows real
+deployments enforce:
+
+* ``retry_window`` — a greylisted triplet that never comes back within this
+  window is forgotten (Postgrey ``--max-age`` for unconfirmed entries);
+* ``whitelist_lifetime`` — a confirmed triplet stays whitelisted this long
+  after its last use (Postgrey keeps entries ~35 days past last activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..sim.clock import Clock
+from .triplet import Triplet
+
+DAY = 86400.0
+
+
+@dataclass
+class TripletEntry:
+    """State tracked for one triplet."""
+
+    triplet: Triplet
+    first_seen: float
+    last_seen: float
+    attempts: int = 1
+    passed: bool = False
+    passed_at: Optional[float] = None
+
+    @property
+    def age_at_last_seen(self) -> float:
+        return self.last_seen - self.first_seen
+
+
+class TripletStore:
+    """In-memory triplet database bound to the simulation clock."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        retry_window: float = 2 * DAY,
+        whitelist_lifetime: float = 35 * DAY,
+    ) -> None:
+        if retry_window <= 0 or whitelist_lifetime <= 0:
+            raise ValueError("expiry windows must be positive")
+        self.clock = clock
+        self.retry_window = retry_window
+        self.whitelist_lifetime = whitelist_lifetime
+        self._entries: Dict[Triplet, TripletEntry] = {}
+        self.expired_unconfirmed = 0
+        self.expired_confirmed = 0
+
+    # ------------------------------------------------------------------
+    # Core access
+    # ------------------------------------------------------------------
+    def lookup(self, triplet: Triplet) -> Optional[TripletEntry]:
+        """Fetch the live entry for a triplet, expiring it if stale."""
+        entry = self._entries.get(triplet)
+        if entry is None:
+            return None
+        if self._is_expired(entry):
+            del self._entries[triplet]
+            if entry.passed:
+                self.expired_confirmed += 1
+            else:
+                self.expired_unconfirmed += 1
+            return None
+        return entry
+
+    def observe(self, triplet: Triplet) -> TripletEntry:
+        """Record one delivery attempt, creating the entry if new."""
+        now = self.clock.now
+        entry = self.lookup(triplet)
+        if entry is None:
+            entry = TripletEntry(triplet=triplet, first_seen=now, last_seen=now)
+            self._entries[triplet] = entry
+        else:
+            entry.attempts += 1
+            entry.last_seen = now
+        return entry
+
+    def mark_passed(self, triplet: Triplet) -> None:
+        entry = self._entries.get(triplet)
+        if entry is None:
+            raise KeyError(f"unknown triplet {triplet}")
+        if not entry.passed:
+            entry.passed = True
+            entry.passed_at = self.clock.now
+
+    def _is_expired(self, entry: TripletEntry) -> bool:
+        now = self.clock.now
+        if entry.passed:
+            return now - entry.last_seen > self.whitelist_lifetime
+        return now - entry.last_seen > self.retry_window
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Drop every expired entry; returns the number removed."""
+        stale = [t for t, e in self._entries.items() if self._is_expired(e)]
+        for triplet in stale:
+            entry = self._entries.pop(triplet)
+            if entry.passed:
+                self.expired_confirmed += 1
+            else:
+                self.expired_unconfirmed += 1
+        return len(stale)
+
+    def entries(self) -> Iterable[TripletEntry]:
+        return self._entries.values()
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def confirmed(self) -> int:
+        return sum(1 for e in self._entries.values() if e.passed)
+
+    def __contains__(self, triplet: Triplet) -> bool:
+        return self.lookup(triplet) is not None
+
+    def __repr__(self) -> str:
+        return f"TripletStore(size={self.size}, confirmed={self.confirmed})"

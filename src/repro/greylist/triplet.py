@@ -1,0 +1,42 @@
+"""Greylisting triplets.
+
+Greylisting keys deliveries on the triplet ``(client IP, envelope sender,
+envelope recipient)``.  Two details matter for the paper's experiments:
+
+* the *message itself is irrelevant* — a different message with the same
+  triplet matches the existing entry (the confound ruled out in §V.A); and
+* some deployments key on the client's /24 network instead of the exact IP,
+  to tolerate webmail farms that rotate between nearby addresses (Table III
+  shows five of ten providers switching IPs mid-delivery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.address import IPv4Address
+from ..smtp.message import validate_address
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """The greylisting key."""
+
+    client: IPv4Address
+    sender: str
+    recipient: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sender", validate_address(self.sender))
+        object.__setattr__(self, "recipient", validate_address(self.recipient))
+
+    def network_key(self, prefix: int = 24) -> "Triplet":
+        """Coarsen the client part to its /prefix network base address."""
+        if not 0 <= prefix <= 32:
+            raise ValueError(f"invalid prefix {prefix}")
+        mask = 0 if prefix == 0 else ((1 << 32) - 1) << (32 - prefix) & ((1 << 32) - 1)
+        base = IPv4Address(self.client.value & mask)
+        return Triplet(base, self.sender, self.recipient)
+
+    def __str__(self) -> str:
+        return f"({self.client}, {self.sender}, {self.recipient})"

@@ -1,0 +1,124 @@
+"""Client whitelists for greylisting.
+
+Postgrey ships a default whitelist of big senders (notably the large webmail
+providers) precisely because their multi-IP retry farms interact badly with
+triplet matching — the paper removes that default whitelist to measure the
+raw provider behaviour in Table III, and §VI concludes whitelisting them is
+essential.  We model whitelisting by exact IP, CIDR block, sender domain and
+HELO-name suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..net.address import IPv4Address, IPv4Network
+from ..smtp.message import domain_of
+
+
+class Whitelist:
+    """A composite allow-list consulted before greylisting applies."""
+
+    def __init__(self) -> None:
+        self._addresses: set = set()
+        self._networks: List[IPv4Network] = []
+        self._sender_domains: set = set()
+        self._helo_suffixes: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_address(self, address: IPv4Address) -> None:
+        self._addresses.add(address)
+
+    def add_network(self, network: IPv4Network) -> None:
+        self._networks.append(network)
+
+    def add_cidr(self, cidr: str) -> None:
+        self.add_network(IPv4Network.parse(cidr))
+
+    def add_sender_domain(self, domain: str) -> None:
+        self._sender_domains.add(domain.strip().lower().rstrip("."))
+
+    def add_helo_suffix(self, suffix: str) -> None:
+        self._helo_suffixes.append(suffix.strip().lower().rstrip("."))
+
+    def update(self, other: "Whitelist") -> None:
+        """Merge another whitelist into this one."""
+        self._addresses |= other._addresses
+        self._networks.extend(other._networks)
+        self._sender_domains |= other._sender_domains
+        self._helo_suffixes.extend(other._helo_suffixes)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def matches_client(self, client: IPv4Address) -> bool:
+        if client in self._addresses:
+            return True
+        return any(client in network for network in self._networks)
+
+    def matches_sender(self, sender: str) -> bool:
+        return domain_of(sender) in self._sender_domains
+
+    def matches_helo(self, helo_name: Optional[str]) -> bool:
+        if not helo_name:
+            return False
+        name = helo_name.strip().lower().rstrip(".")
+        return any(
+            name == suffix or name.endswith("." + suffix)
+            for suffix in self._helo_suffixes
+        )
+
+    def matches(
+        self,
+        client: IPv4Address,
+        sender: str,
+        helo_name: Optional[str] = None,
+    ) -> bool:
+        return (
+            self.matches_client(client)
+            or self.matches_sender(sender)
+            or self.matches_helo(helo_name)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self._addresses
+            or self._networks
+            or self._sender_domains
+            or self._helo_suffixes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Whitelist(addresses={len(self._addresses)}, "
+            f"networks={len(self._networks)}, "
+            f"domains={len(self._sender_domains)})"
+        )
+
+
+# The big providers Postgrey's stock whitelist covers; used by the Table III
+# experiment (removed) and the deployment simulation (installed).
+DEFAULT_WHITELISTED_DOMAINS = (
+    "gmail.com",
+    "yahoo.co.uk",
+    "hotmail.com",
+    "qq.com",
+    "mail.ru",
+    "yandex.com",
+    "mail.com",
+    "gmx.com",
+    "aol.com",
+    "india.com",
+)
+
+
+def default_provider_whitelist(domains: Iterable[str] = DEFAULT_WHITELISTED_DOMAINS) -> Whitelist:
+    """Build the Postgrey-style stock whitelist of big webmail senders."""
+    whitelist = Whitelist()
+    for domain in domains:
+        whitelist.add_sender_domain(domain)
+        whitelist.add_helo_suffix(domain)
+    return whitelist

@@ -1,0 +1,70 @@
+"""Latency models for the virtual internet.
+
+Latency matters little for the paper's measurements (delays of interest are
+minutes to days), but modelling it keeps the SMTP session timing honest and
+lets ablations check that results are latency-insensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.rng import RandomStream
+from .address import IPv4Address
+
+
+class LatencyModel:
+    """Interface: round-trip time between two addresses, in seconds."""
+
+    def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
+        raise NotImplementedError
+
+
+class ZeroLatency(LatencyModel):
+    """No network delay; the default for pure-policy experiments."""
+
+    def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
+        return 0.0
+
+
+class FixedLatency(LatencyModel):
+    """Constant RTT for every pair."""
+
+    def __init__(self, rtt_seconds: float) -> None:
+        if rtt_seconds < 0:
+            raise ValueError("rtt must be non-negative")
+        self._rtt = float(rtt_seconds)
+
+    def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
+        return self._rtt
+
+
+class JitteredLatency(LatencyModel):
+    """Deterministically jittered RTT.
+
+    Each (source, destination) pair gets a stable RTT drawn from a uniform
+    band — stable so repeated connections between the same pair see the same
+    path, as on the real internet, and so runs stay reproducible.
+    """
+
+    def __init__(
+        self,
+        rng: RandomStream,
+        base_seconds: float = 0.05,
+        jitter_seconds: float = 0.1,
+    ) -> None:
+        if base_seconds < 0 or jitter_seconds < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self._rng = rng
+        self._base = base_seconds
+        self._jitter = jitter_seconds
+        self._cache: dict = {}
+
+    def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
+        key = (source.value, destination.value)
+        cached: Optional[float] = self._cache.get(key)
+        if cached is None:
+            pair_rng = self._rng.split(f"rtt:{source}:{destination}")
+            cached = self._base + pair_rng.random() * self._jitter
+            self._cache[key] = cached
+        return cached

@@ -1,0 +1,114 @@
+"""The virtual internet: address routing, connections and latency.
+
+:class:`VirtualInternet` is a registry mapping IPv4 addresses to
+:class:`~repro.net.host.VirtualHost` instances plus a latency model.  It
+offers the two primitives the rest of the system needs:
+
+* ``connect(src, dst, port)`` — TCP-style connect, yielding a
+  :class:`~repro.net.host.Connection` or raising
+  :class:`~repro.net.host.ConnectionRefused` / ``HostUnreachable``; and
+* ``syn_probe(dst, port)`` — a zmap-style half-open probe used by the
+  banner-grab scanner, returning whether the port answered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .address import IPv4Address
+from .host import (
+    Connection,
+    ConnectionRefused,
+    HostUnreachable,
+    NetError,
+    VirtualHost,
+)
+from .latency import LatencyModel, ZeroLatency
+
+
+class VirtualInternet:
+    """Routes connections between registered hosts."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+        self._hosts_by_address: Dict[IPv4Address, VirtualHost] = {}
+        self._hosts_by_name: Dict[str, VirtualHost] = {}
+        self.latency = latency if latency is not None else ZeroLatency()
+        self.connections_attempted = 0
+        self.connections_established = 0
+        self.connections_refused = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, host: VirtualHost) -> VirtualHost:
+        """Attach a host; all of its addresses become routable."""
+        if host.name in self._hosts_by_name:
+            raise NetError(f"duplicate host name {host.name!r}")
+        for address in host.addresses:
+            if address in self._hosts_by_address:
+                owner = self._hosts_by_address[address].name
+                raise NetError(
+                    f"address {address} already owned by host {owner!r}"
+                )
+        self._hosts_by_name[host.name] = host
+        for address in host.addresses:
+            self._hosts_by_address[address] = host
+        return host
+
+    def unregister(self, host: VirtualHost) -> None:
+        self._hosts_by_name.pop(host.name, None)
+        for address in host.addresses:
+            self._hosts_by_address.pop(address, None)
+
+    def host_at(self, address: IPv4Address) -> Optional[VirtualHost]:
+        return self._hosts_by_address.get(address)
+
+    def host_named(self, name: str) -> Optional[VirtualHost]:
+        return self._hosts_by_name.get(name)
+
+    @property
+    def hosts(self) -> Iterable[VirtualHost]:
+        return self._hosts_by_name.values()
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self._hosts_by_name)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connect(
+        self, source: IPv4Address, destination: IPv4Address, port: int
+    ) -> Connection:
+        """Open a connection; raises on refusal/unreachability."""
+        self.connections_attempted += 1
+        host = self._hosts_by_address.get(destination)
+        if host is None or not host.up:
+            raise HostUnreachable(f"no route to {destination}")
+        try:
+            session = host.accept(port, source)
+        except ConnectionRefused:
+            self.connections_refused += 1
+            raise
+        self.connections_established += 1
+        return Connection(source, destination, port, session)
+
+    def syn_probe(self, destination: IPv4Address, port: int) -> bool:
+        """zmap-style SYN probe: ``True`` iff something listens on the port.
+
+        Unlike :meth:`connect` this never materialises a session, mirroring
+        how the scans.io banner-grab dataset was produced.
+        """
+        host = self._hosts_by_address.get(destination)
+        return host is not None and host.is_listening(port)
+
+    def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
+        """Round-trip latency between two addresses, in seconds."""
+        return self.latency.rtt(source, destination)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualInternet(hosts={self.num_hosts}, "
+            f"established={self.connections_established}, "
+            f"refused={self.connections_refused})"
+        )

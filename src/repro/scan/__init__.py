@@ -1,0 +1,92 @@
+"""Internet-scale scanning: population, zmap-style scans, nolisting detection."""
+
+from .banner import (
+    SOFTWARE_BY_NAME,
+    SOFTWARE_PROFILES,
+    BannerDataset,
+    BannerGrabScanner,
+    BannerRecord,
+    HostSoftwareAssignment,
+    SoftwareProfile,
+    SoftwareSurvey,
+    fingerprint_banner,
+    survey_software,
+)
+from .alexa import (
+    PAPER_NOLISTING_RANKS,
+    PopularityCrossCheck,
+    crosscheck_popularity,
+    plant_popular_nolisting,
+)
+from .datasets import (
+    DNSScanDataset,
+    DomainObservation,
+    MXObservation,
+    ScanPair,
+    SMTPScanDataset,
+)
+from .detect import (
+    AdoptionSummary,
+    DomainClass,
+    DomainVerdict,
+    NolistingDetector,
+    SingleScanVerdict,
+    classify_single_scan,
+    classify_two_scans,
+)
+from .population import (
+    FIGURE2_MIX,
+    DomainCategory,
+    DomainTruth,
+    PopulationConfig,
+    SyntheticInternet,
+)
+from .scanner import DNSScanner, SMTPScanner
+from .serialize import (
+    ScanFormatError,
+    dump_dns_scan,
+    dump_smtp_scan,
+    load_dns_scan,
+    load_smtp_scan,
+)
+
+__all__ = [
+    "AdoptionSummary",
+    "BannerDataset",
+    "BannerGrabScanner",
+    "BannerRecord",
+    "HostSoftwareAssignment",
+    "SOFTWARE_BY_NAME",
+    "SOFTWARE_PROFILES",
+    "SoftwareProfile",
+    "SoftwareSurvey",
+    "fingerprint_banner",
+    "survey_software",
+    "DNSScanDataset",
+    "DNSScanner",
+    "DomainCategory",
+    "DomainClass",
+    "DomainObservation",
+    "DomainTruth",
+    "DomainVerdict",
+    "FIGURE2_MIX",
+    "MXObservation",
+    "NolistingDetector",
+    "PAPER_NOLISTING_RANKS",
+    "PopularityCrossCheck",
+    "PopulationConfig",
+    "ScanPair",
+    "SingleScanVerdict",
+    "SMTPScanDataset",
+    "SMTPScanner",
+    "ScanFormatError",
+    "SyntheticInternet",
+    "dump_dns_scan",
+    "dump_smtp_scan",
+    "load_dns_scan",
+    "load_smtp_scan",
+    "classify_single_scan",
+    "classify_two_scans",
+    "crosscheck_popularity",
+    "plant_popular_nolisting",
+]

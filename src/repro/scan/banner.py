@@ -1,0 +1,214 @@
+"""SMTP banner grabbing and software fingerprinting.
+
+The paper's reachability dataset is the zmap *"Daily Full IPv4 SMTP Banner
+Grab and StartTLS"* capture — more than a SYN bitmap: each listening host
+answered with its 220 banner, which usually names the MTA software.  This
+module adds that dimension to the simulated scan:
+
+* canonical banner templates and STARTTLS support odds per MTA software;
+* :class:`BannerGrabScanner` — collects ``(address, banner, starttls)``
+  for every listening host of a population;
+* :func:`fingerprint_banner` — maps a banner string back to a software
+  name (the classification step a real survey performs);
+* :class:`SoftwareSurvey` — the aggregated software/STARTTLS distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..net.address import IPv4Address
+from ..sim.rng import RandomStream
+from .population import SyntheticInternet
+
+
+@dataclass(frozen=True)
+class SoftwareProfile:
+    """One MTA software as it appears on the wire."""
+
+    name: str
+    banner_template: str          # format with hostname
+    market_share: float           # fraction of internet mail hosts
+    starttls_rate: float          # fraction of deployments offering STARTTLS
+
+    def banner_for(self, hostname: str) -> str:
+        return self.banner_template.format(host=hostname)
+
+
+#: The software mix used when a population assigns banners.  Shares are a
+#: plausible 2015-era distribution over the paper's "most popular MTA
+#: servers used on the Internet" plus an unidentifiable remainder.
+SOFTWARE_PROFILES: Tuple[SoftwareProfile, ...] = (
+    SoftwareProfile("postfix", "220 {host} ESMTP Postfix", 0.33, 0.80),
+    SoftwareProfile("exim", "220 {host} ESMTP Exim 4.84", 0.28, 0.75),
+    SoftwareProfile("sendmail", "220 {host} ESMTP Sendmail 8.14.9/8.14.9", 0.12, 0.60),
+    SoftwareProfile(
+        "exchange",
+        "220 {host} Microsoft ESMTP MAIL Service ready",
+        0.12,
+        0.85,
+    ),
+    SoftwareProfile("qmail", "220 {host} ESMTP", 0.05, 0.20),
+    SoftwareProfile("courier", "220 {host} ESMTP Courier", 0.03, 0.50),
+    SoftwareProfile("other", "220 {host} SMTP service ready", 0.07, 0.40),
+)
+
+SOFTWARE_BY_NAME: Dict[str, SoftwareProfile] = {
+    p.name: p for p in SOFTWARE_PROFILES
+}
+
+#: Substrings that identify each software in a banner, tried in order
+#: (qmail's bare "ESMTP" banner must be matched last).
+_FINGERPRINTS: Tuple[Tuple[str, str], ...] = (
+    ("Postfix", "postfix"),
+    ("Exim", "exim"),
+    ("Sendmail", "sendmail"),
+    ("Microsoft ESMTP", "exchange"),
+    ("Courier", "courier"),
+)
+
+
+def fingerprint_banner(banner: str) -> str:
+    """Classify a 220 banner into a software name.
+
+    qmail is famously silent about itself (bare ``220 host ESMTP``); that
+    shape is attributed to qmail, anything else unrecognized to "other".
+    """
+    for needle, name in _FINGERPRINTS:
+        if needle in banner:
+            return name
+    stripped = banner.strip()
+    if stripped.startswith("220 ") and stripped.endswith(" ESMTP"):
+        return "qmail"
+    return "other"
+
+
+@dataclass
+class BannerRecord:
+    """One host's banner-grab result."""
+
+    address: IPv4Address
+    banner: str
+    starttls: bool
+
+
+@dataclass
+class BannerDataset:
+    """The per-scan banner capture."""
+
+    scan_index: int
+    records: List[BannerRecord] = field(default_factory=list)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+class HostSoftwareAssignment:
+    """Deterministically assigns MTA software to a population's mail hosts.
+
+    Assignment is derived from (seed, address), so the same population and
+    seed always yield the same software map — independent of scan order.
+    """
+
+    def __init__(self, internet: SyntheticInternet, seed: int) -> None:
+        self.internet = internet
+        self.seed = seed
+        self._root = RandomStream(seed, "banner-assignment")
+        self._cache: Dict[IPv4Address, SoftwareProfile] = {}
+        self._weights = [p.market_share for p in SOFTWARE_PROFILES]
+
+    def software_for(self, address: IPv4Address) -> SoftwareProfile:
+        profile = self._cache.get(address)
+        if profile is None:
+            host_rng = self._root.split(f"host:{address}")
+            profile = SOFTWARE_PROFILES[host_rng.weighted_index(self._weights)]
+            self._cache[address] = profile
+        return profile
+
+    def offers_starttls(self, address: IPv4Address) -> bool:
+        profile = self.software_for(address)
+        host_rng = self._root.split(f"tls:{address}")
+        return host_rng.random() < profile.starttls_rate
+
+
+class BannerGrabScanner:
+    """Grabs banners (and STARTTLS capability) from listening mail hosts."""
+
+    def __init__(
+        self, internet: SyntheticInternet, assignment: HostSoftwareAssignment
+    ) -> None:
+        self.internet = internet
+        self.assignment = assignment
+
+    def scan(
+        self,
+        scan_index: int,
+        addresses: Optional[Iterable[IPv4Address]] = None,
+    ) -> BannerDataset:
+        if addresses is None:
+            addresses = self.internet.all_mail_addresses()
+        hostname_of: Dict[IPv4Address, str] = {}
+        for truth in self.internet.domains:
+            for hostname, _, address in truth.mx_hosts:
+                if address is not None:
+                    hostname_of[address] = hostname
+        dataset = BannerDataset(scan_index=scan_index)
+        for address in addresses:
+            if not self.internet.is_listening(address, scan_index):
+                continue
+            profile = self.assignment.software_for(address)
+            hostname = hostname_of.get(address, str(address))
+            dataset.records.append(
+                BannerRecord(
+                    address=address,
+                    banner=profile.banner_for(hostname),
+                    starttls=self.assignment.offers_starttls(address),
+                )
+            )
+        return dataset
+
+
+@dataclass
+class SoftwareSurvey:
+    """Aggregated software distribution from a banner capture."""
+
+    total_hosts: int
+    software_counts: Dict[str, int]
+    starttls_hosts: int
+
+    @property
+    def starttls_fraction(self) -> float:
+        if self.total_hosts == 0:
+            return 0.0
+        return self.starttls_hosts / self.total_hosts
+
+    def fraction(self, software: str) -> float:
+        if self.total_hosts == 0:
+            return 0.0
+        return self.software_counts.get(software, 0) / self.total_hosts
+
+    def ranked(self) -> List[Tuple[str, int]]:
+        return sorted(
+            self.software_counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+
+
+def survey_software(dataset: BannerDataset) -> SoftwareSurvey:
+    """Fingerprint every banner in a capture and aggregate."""
+    counts: Dict[str, int] = {}
+    starttls = 0
+    for record in dataset:
+        name = fingerprint_banner(record.banner)
+        counts[name] = counts.get(name, 0) + 1
+        if record.starttls:
+            starttls += 1
+    return SoftwareSurvey(
+        total_hosts=dataset.num_hosts,
+        software_counts=counts,
+        starttls_hosts=starttls,
+    )

@@ -1,0 +1,182 @@
+"""The nolisting detection pipeline (paper §IV.A).
+
+Classification of one domain from one scan is the paper's three-step
+process:
+
+1. retrieve the domain's MX records from the DNS capture and check their
+   correctness;
+2. resolve the address of each record, ordered by priority (using the
+   parallel re-resolution where the capture lacked glue);
+3. look the addresses up in the SMTP banner-grab capture.
+
+A domain whose primary MX is absent from the listening set while a
+secondary is present is a *nolisting candidate*.  Because a candidate may
+just have a malfunctioning primary, the protocol repeats the measurement
+two months later: a domain counts as nolisting only when it is a candidate
+in **both** scans, and as not-nolisting as soon as its primary answered in
+at least one scan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .datasets import DNSScanDataset, DomainObservation, SMTPScanDataset
+
+
+class DomainClass(enum.Enum):
+    """The Figure 2 pie-chart buckets."""
+
+    ONE_MX = "one-mx"
+    MULTI_MX_NO_NOLISTING = "multi-mx"
+    NOLISTING = "nolisting"
+    DNS_MISCONFIGURED = "misconfigured"
+
+
+class SingleScanVerdict(enum.Enum):
+    """What one scan alone can say about a domain."""
+
+    ONE_MX = "one-mx"
+    PRIMARY_UP = "primary-up"              # definitely not nolisting
+    NOLISTING_CANDIDATE = "candidate"      # primary down, a secondary up
+    ALL_DOWN = "all-down"                  # nothing answered
+    MISCONFIGURED = "misconfigured"        # no usable MX records
+
+
+@dataclass
+class DomainVerdict:
+    """Final two-scan classification of one domain."""
+
+    domain: str
+    domain_class: DomainClass
+    scan_verdicts: List[SingleScanVerdict] = field(default_factory=list)
+
+
+def classify_single_scan(
+    observation: Optional[DomainObservation],
+    smtp: SMTPScanDataset,
+) -> SingleScanVerdict:
+    """Steps 1-3 for one domain in one scan."""
+    if observation is None or observation.nxdomain or observation.servfail:
+        return SingleScanVerdict.MISCONFIGURED
+    resolved = [record for record in observation.sorted_mx() if record.resolved]
+    if not resolved:
+        return SingleScanVerdict.MISCONFIGURED
+    if len(resolved) == 1:
+        return SingleScanVerdict.ONE_MX
+    primary, *secondaries = resolved
+    assert primary.address is not None
+    if primary.address in smtp:
+        return SingleScanVerdict.PRIMARY_UP
+    if any(s.address in smtp for s in secondaries if s.address is not None):
+        return SingleScanVerdict.NOLISTING_CANDIDATE
+    return SingleScanVerdict.ALL_DOWN
+
+
+def classify_two_scans(
+    domain: str,
+    verdict_a: SingleScanVerdict,
+    verdict_b: SingleScanVerdict,
+) -> DomainVerdict:
+    """Combine the two single-scan verdicts per the paper's protocol.
+
+    * primary operational in at least one scan → not using nolisting;
+    * candidate in both scans → nolisting (or a persistent primary failure,
+      "which is in practice equivalent to nolisting");
+    * no usable MX in both scans → DNS misconfigured;
+    * single MX → one-MX bucket (nolisting needs >= 2 records).
+    """
+    verdicts = [verdict_a, verdict_b]
+    if SingleScanVerdict.PRIMARY_UP in verdicts:
+        domain_class = DomainClass.MULTI_MX_NO_NOLISTING
+    elif verdicts == [
+        SingleScanVerdict.NOLISTING_CANDIDATE,
+        SingleScanVerdict.NOLISTING_CANDIDATE,
+    ]:
+        domain_class = DomainClass.NOLISTING
+    elif SingleScanVerdict.NOLISTING_CANDIDATE in verdicts:
+        # Candidate in exactly one scan: a transient outage, not nolisting.
+        domain_class = DomainClass.MULTI_MX_NO_NOLISTING
+    elif SingleScanVerdict.ONE_MX in verdicts:
+        domain_class = DomainClass.ONE_MX
+    elif SingleScanVerdict.ALL_DOWN in verdicts:
+        # Multi-MX but nothing ever answered: a dead deployment; the paper's
+        # pipeline cannot call it nolisting, and it is not a DNS problem.
+        domain_class = DomainClass.MULTI_MX_NO_NOLISTING
+    else:
+        domain_class = DomainClass.DNS_MISCONFIGURED
+    return DomainVerdict(
+        domain=domain, domain_class=domain_class, scan_verdicts=verdicts
+    )
+
+
+@dataclass
+class AdoptionSummary:
+    """Aggregated Figure 2 result."""
+
+    total_domains: int
+    counts: Dict[DomainClass, int]
+    #: domains that changed single-scan verdict between the two scans
+    flapped: int = 0
+    #: mail-server coverage figures reported alongside Figure 2
+    servers_covered: int = 0
+    addresses_covered: int = 0
+
+    def fraction(self, domain_class: DomainClass) -> float:
+        if self.total_domains == 0:
+            return 0.0
+        return self.counts.get(domain_class, 0) / self.total_domains
+
+    def percentages(self) -> Dict[DomainClass, float]:
+        return {c: 100.0 * self.fraction(c) for c in DomainClass}
+
+
+class NolistingDetector:
+    """Runs the full two-scan classification over a scan pair."""
+
+    def __init__(
+        self,
+        dns_a: DNSScanDataset,
+        smtp_a: SMTPScanDataset,
+        dns_b: DNSScanDataset,
+        smtp_b: SMTPScanDataset,
+    ) -> None:
+        self.dns_a = dns_a
+        self.smtp_a = smtp_a
+        self.dns_b = dns_b
+        self.smtp_b = smtp_b
+
+    def classify_domain(self, domain: str) -> DomainVerdict:
+        verdict_a = classify_single_scan(self.dns_a.get(domain), self.smtp_a)
+        verdict_b = classify_single_scan(self.dns_b.get(domain), self.smtp_b)
+        return classify_two_scans(domain, verdict_a, verdict_b)
+
+    def classify_all(self) -> List[DomainVerdict]:
+        domains = sorted(
+            set(self.dns_a.observations) | set(self.dns_b.observations)
+        )
+        return [self.classify_domain(domain) for domain in domains]
+
+    def summarize(self) -> AdoptionSummary:
+        verdicts = self.classify_all()
+        counts = {c: 0 for c in DomainClass}
+        flapped = 0
+        for verdict in verdicts:
+            counts[verdict.domain_class] += 1
+            if verdict.scan_verdicts[0] != verdict.scan_verdicts[1]:
+                flapped += 1
+        servers = sum(
+            len(obs.mx) for obs in self.dns_a
+        )
+        addresses = sum(
+            sum(1 for record in obs.mx if record.resolved) for obs in self.dns_a
+        )
+        return AdoptionSummary(
+            total_domains=len(verdicts),
+            counts=counts,
+            flapped=flapped,
+            servers_covered=servers,
+            addresses_covered=addresses,
+        )

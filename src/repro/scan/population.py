@@ -1,0 +1,263 @@
+"""Synthetic internet population for the adoption measurement.
+
+The Figure 2 experiment needs an internet's worth of mail domains whose
+ground truth we control: how many use a single MX, several MXes, nolisting,
+or are misconfigured — plus the realistic nuisances the paper's pipeline had
+to survive (transiently-down primaries, MX answers with missing glue,
+persistent primary outages indistinguishable from nolisting).
+
+:class:`SyntheticInternet` generates such a population deterministically
+from a seed and exposes exactly the two views the real study had:
+authoritative DNS (via a :class:`~repro.dns.zone.ZoneStore`) and per-scan
+TCP/25 reachability (via :meth:`is_listening`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dns.zone import ZoneStore
+from ..net.address import AddressPool, IPv4Address, IPv4Network
+from ..sim.rng import RandomStream
+
+
+class DomainCategory(enum.Enum):
+    """Ground-truth configuration of a generated domain."""
+
+    SINGLE_MX = "single-mx"
+    MULTI_MX = "multi-mx"
+    NOLISTING = "nolisting"
+    MISCONFIGURED = "misconfigured"
+
+
+#: Figure 2's published mix (fractions of all domains).
+FIGURE2_MIX: Dict[DomainCategory, float] = {
+    DomainCategory.SINGLE_MX: 0.4773,
+    DomainCategory.MULTI_MX: 0.4597,
+    DomainCategory.MISCONFIGURED: 0.0578,
+    DomainCategory.NOLISTING: 0.0052,
+}
+
+
+@dataclass
+class DomainTruth:
+    """Everything the generator decided about one domain."""
+
+    name: str
+    category: DomainCategory
+    mx_hosts: List[Tuple[str, int, Optional[IPv4Address]]] = field(
+        default_factory=list
+    )  # (hostname, preference, address-or-None)
+    #: Scan index (0 or 1) during which the *primary* MX is spuriously down,
+    #: or None.  Models maintenance windows / transient failures.
+    outage_scan: Optional[int] = None
+    #: Primary down in *both* scans (a persistent failure, which the paper
+    #: deliberately counts as nolisting-equivalent).
+    persistent_outage: bool = False
+    alexa_rank: Optional[int] = None
+
+    @property
+    def primary(self) -> Optional[Tuple[str, int, Optional[IPv4Address]]]:
+        if not self.mx_hosts:
+            return None
+        return min(self.mx_hosts, key=lambda h: h[1])
+
+    @property
+    def secondaries(self) -> List[Tuple[str, int, Optional[IPv4Address]]]:
+        if len(self.mx_hosts) < 2:
+            return []
+        primary = self.primary
+        return [h for h in self.mx_hosts if h is not primary]
+
+
+@dataclass
+class PopulationConfig:
+    """Knobs of the generator."""
+
+    num_domains: int = 10000
+    mix: Dict[DomainCategory, float] = field(
+        default_factory=lambda: dict(FIGURE2_MIX)
+    )
+    #: Fraction of single/multi-MX domains whose primary suffers a transient
+    #: outage during exactly one of the two scans.
+    transient_outage_rate: float = 0.004
+    #: Fraction of multi-MX domains whose primary is persistently dead
+    #: (counted as nolisting by the paper's operational definition).
+    persistent_outage_rate: float = 0.0
+    #: Fraction of multi-MX domains (2, 3 or 4 exchangers).
+    extra_mx_weights: Tuple[float, float, float] = (0.72, 0.2, 0.08)
+    #: Of the misconfigured domains, fraction that have a dangling MX (the
+    #: rest have no MX records at all).
+    dangling_mx_fraction: float = 0.5
+    address_space: str = "10.0.0.0/8"
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 1:
+            raise ValueError("population needs at least one domain")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"category mix must sum to 1, got {total}")
+        for rate in (self.transient_outage_rate, self.persistent_outage_rate,
+                     self.dangling_mx_fraction):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must lie in [0, 1]")
+
+
+class SyntheticInternet:
+    """A generated population of mail domains with ground truth attached."""
+
+    def __init__(self, config: PopulationConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+        self.zones = ZoneStore()
+        self.domains: List[DomainTruth] = []
+        self._listening: Dict[IPv4Address, bool] = {}
+        #: address -> scan index during which it is spuriously down
+        self._down_during_scan: Dict[IPv4Address, int] = {}
+        self._pool = AddressPool(IPv4Network.parse(config.address_space))
+        self._generate(RandomStream(seed, "population"))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _category_counts(self) -> Dict[DomainCategory, int]:
+        """Apportion domains to categories with largest-remainder rounding."""
+        n = self.config.num_domains
+        raw = {c: n * frac for c, frac in self.config.mix.items()}
+        counts = {c: int(v) for c, v in raw.items()}
+        shortfall = n - sum(counts.values())
+        by_remainder = sorted(
+            raw, key=lambda c: raw[c] - counts[c], reverse=True
+        )
+        for category in by_remainder[:shortfall]:
+            counts[category] += 1
+        return counts
+
+    def _generate(self, rng: RandomStream) -> None:
+        counts = self._category_counts()
+        order: List[DomainCategory] = []
+        for category, count in counts.items():
+            order.extend([category] * count)
+        rng.split("order").shuffle(order)
+
+        ranks = list(range(1, self.config.num_domains + 1))
+        rng.split("ranks").shuffle(ranks)
+
+        outage_rng = rng.split("outages")
+        mx_rng = rng.split("mx-count")
+        misc_rng = rng.split("misconfig")
+
+        for index, category in enumerate(order):
+            name = f"dom{index:07d}.example"
+            truth = DomainTruth(
+                name=name, category=category, alexa_rank=ranks[index]
+            )
+            if category is DomainCategory.SINGLE_MX:
+                self._build_single(truth)
+                self._maybe_transient(truth, outage_rng)
+            elif category is DomainCategory.MULTI_MX:
+                self._build_multi(truth, mx_rng)
+                if outage_rng.random() < self.config.persistent_outage_rate:
+                    self._apply_persistent_outage(truth)
+                else:
+                    self._maybe_transient(truth, outage_rng)
+            elif category is DomainCategory.NOLISTING:
+                self._build_nolisting(truth)
+            else:
+                self._build_misconfigured(truth, misc_rng)
+            self.domains.append(truth)
+
+    def _allocate_mx(
+        self, truth: DomainTruth, label: str, preference: int, listening: bool
+    ) -> IPv4Address:
+        address = self._pool.allocate()
+        hostname = f"{label}.{truth.name}"
+        zone = self.zones.get_or_create(truth.name)
+        zone.add_a(hostname, address)
+        zone.add_mx(preference, hostname)
+        truth.mx_hosts.append((hostname, preference, address))
+        self._listening[address] = listening
+        return address
+
+    def _build_single(self, truth: DomainTruth) -> None:
+        self._allocate_mx(truth, "smtp", 10, listening=True)
+
+    def _build_multi(self, truth: DomainTruth, rng: RandomStream) -> None:
+        extra = rng.weighted_index(list(self.config.extra_mx_weights)) + 1
+        self._allocate_mx(truth, "smtp", 10, listening=True)
+        for i in range(extra):
+            self._allocate_mx(truth, f"smtp{i + 1}", 10 * (i + 2), listening=True)
+
+    def _build_nolisting(self, truth: DomainTruth) -> None:
+        # Primary resolves but refuses port 25; secondary works (Figure 1).
+        self._allocate_mx(truth, "smtp", 0, listening=False)
+        self._allocate_mx(truth, "smtp1", 15, listening=True)
+
+    def _build_misconfigured(self, truth: DomainTruth, rng: RandomStream) -> None:
+        zone = self.zones.get_or_create(truth.name)
+        if rng.random() < self.config.dangling_mx_fraction:
+            # MX points at a hostname with no A record anywhere.
+            hostname = f"ghost.{truth.name}"
+            zone.add_mx(10, hostname)
+            truth.mx_hosts.append((hostname, 10, None))
+        else:
+            # Domain exists (has an A record for www) but no MX at all.
+            zone.add_a(f"www.{truth.name}", self._pool.allocate())
+
+    def _maybe_transient(self, truth: DomainTruth, rng: RandomStream) -> None:
+        if rng.random() >= self.config.transient_outage_rate:
+            return
+        primary = truth.primary
+        if primary is None or primary[2] is None:
+            return
+        scan_index = rng.randint(0, 1)
+        truth.outage_scan = scan_index
+        self._down_during_scan[primary[2]] = scan_index
+
+    def _apply_persistent_outage(self, truth: DomainTruth) -> None:
+        primary = truth.primary
+        if primary is None or primary[2] is None:
+            return
+        truth.persistent_outage = True
+        self._listening[primary[2]] = False
+
+    # ------------------------------------------------------------------
+    # Scan-time views
+    # ------------------------------------------------------------------
+    def is_listening(self, address: IPv4Address, scan_index: int) -> bool:
+        """TCP/25 reachability of ``address`` as seen by scan ``scan_index``."""
+        if not self._listening.get(address, False):
+            return False
+        return self._down_during_scan.get(address) != scan_index
+
+    def all_mail_addresses(self) -> List[IPv4Address]:
+        """Every address allocated to an MX host (the scan's address space)."""
+        return [
+            addr
+            for truth in self.domains
+            for (_, _, addr) in truth.mx_hosts
+            if addr is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Ground truth helpers (for validating the pipeline)
+    # ------------------------------------------------------------------
+    def truth_counts(self) -> Dict[DomainCategory, int]:
+        counts = {c: 0 for c in DomainCategory}
+        for truth in self.domains:
+            counts[truth.category] += 1
+        return counts
+
+    def domains_in(self, category: DomainCategory) -> List[DomainTruth]:
+        return [t for t in self.domains if t.category is category]
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.domains)
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticInternet(domains={self.num_domains}, seed={self.seed})"
+        )

@@ -1,0 +1,136 @@
+"""Simulated zmap scanners.
+
+:class:`DNSScanner` performs the DNS-ANY sweep over the population —
+including the imperfection the paper had to patch: a fraction of MX answers
+arrive without the exchange's glue A record.  Its
+:meth:`DNSScanner.parallel_resolve` implements the authors' follow-up
+scanner that re-resolves those entries.
+
+:class:`SMTPScanner` performs the SYN/banner sweep of port 25 over an
+address list, producing the listening-host set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..dns.resolver import NXDomain, ServFail, StubResolver
+from ..net.address import IPv4Address
+from ..sim.rng import RandomStream
+from .datasets import (
+    DNSScanDataset,
+    DomainObservation,
+    MXObservation,
+    SMTPScanDataset,
+)
+from .population import SyntheticInternet
+
+
+class DNSScanner:
+    """Sweeps every domain of a population with an ANY query.
+
+    Parameters
+    ----------
+    internet:
+        The population under measurement.
+    glue_elision_rate:
+        Fraction of MX answers whose glue A record is dropped from the
+        capture (the scans.io dataset's "not properly resolved" entries).
+    """
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        glue_elision_rate: float = 0.1,
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        if not 0.0 <= glue_elision_rate <= 1.0:
+            raise ValueError("glue_elision_rate must lie in [0, 1]")
+        if glue_elision_rate > 0 and rng is None:
+            raise ValueError("glue elision requires an rng")
+        self.internet = internet
+        self.glue_elision_rate = glue_elision_rate
+        self.rng = rng
+
+    def scan(self, scan_index: int) -> DNSScanDataset:
+        """Capture the whole population's DNS state."""
+        resolver = StubResolver(self.internet.zones)
+        dataset = DNSScanDataset(scan_index=scan_index)
+        elision_rng = (
+            self.rng.split(f"elision:{scan_index}") if self.rng else None
+        )
+        for truth in self.internet.domains:
+            observation = DomainObservation(domain=truth.name)
+            try:
+                answer = resolver.resolve_mx(truth.name)
+            except NXDomain:
+                observation.nxdomain = True
+                dataset.add(observation)
+                continue
+            except ServFail:
+                observation.servfail = True
+                dataset.add(observation)
+                continue
+            for mx in answer.records:
+                address: Optional[IPv4Address] = answer.additional.get(
+                    mx.exchange
+                )
+                if (
+                    address is not None
+                    and elision_rng is not None
+                    and elision_rng.random() < self.glue_elision_rate
+                ):
+                    address = None
+                observation.mx.append(
+                    MXObservation(
+                        preference=mx.preference,
+                        exchange=mx.exchange,
+                        address=address,
+                    )
+                )
+            dataset.add(observation)
+        return dataset
+
+    def parallel_resolve(self, dataset: DNSScanDataset) -> int:
+        """Re-resolve MX entries captured without an address.
+
+        This is the paper's "parallel scanner": for every MX record whose
+        reply "only contains the domain name of the mail server but not its
+        IP address", issue the missing A query.  Returns how many entries
+        were repaired.  Dangling exchanges (no A record anywhere) stay
+        unresolved — those are genuine misconfigurations.
+        """
+        resolver = StubResolver(self.internet.zones)
+        repaired = 0
+        for observation in dataset:
+            for record in observation.mx:
+                if record.resolved:
+                    continue
+                try:
+                    record.address = resolver.resolve_address(record.exchange)
+                    repaired += 1
+                except (NXDomain, ServFail):
+                    continue
+        return repaired
+
+
+class SMTPScanner:
+    """SYN-scans a list of addresses on TCP/25 (the banner grab)."""
+
+    def __init__(self, internet: SyntheticInternet) -> None:
+        self.internet = internet
+
+    def scan(
+        self,
+        scan_index: int,
+        addresses: Optional[Iterable[IPv4Address]] = None,
+    ) -> SMTPScanDataset:
+        """Probe ``addresses`` (default: the population's full mail space)."""
+        if addresses is None:
+            addresses = self.internet.all_mail_addresses()
+        dataset = SMTPScanDataset(scan_index=scan_index)
+        for address in addresses:
+            dataset.probed += 1
+            if self.internet.is_listening(address, scan_index):
+                dataset.add(address)
+        return dataset

@@ -1,0 +1,215 @@
+"""Discrete-event scheduler.
+
+The scheduler owns the simulation :class:`~repro.sim.clock.Clock` and a
+priority queue of timestamped callbacks.  Events scheduled for the same
+instant fire in FIFO order (a monotonically increasing sequence number breaks
+ties), which makes every run fully deterministic.
+
+This is the backbone of every experiment in the reproduction: bots, MTAs,
+webmail providers and scanners are all expressed as callbacks re-scheduling
+themselves on this queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .clock import Clock, ClockError
+
+EventCallback = Callable[[], Any]
+
+
+class SchedulerError(Exception):
+    """Raised on illegal scheduler operations."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`EventScheduler.schedule_at`.
+
+    Holding the handle allows the caller to cancel the event before it fires.
+    """
+
+    when: float
+    seq: int
+    label: str = field(compare=False, default="")
+
+
+class _Entry:
+    """Internal heap entry; mutable so cancellation can tombstone it."""
+
+    __slots__ = ("when", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: EventCallback, label: str):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def sort_key(self) -> tuple:
+        return (self.when, self.seq)
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class EventScheduler:
+    """A deterministic discrete-event loop.
+
+    Parameters
+    ----------
+    clock:
+        The simulation clock to drive.  A fresh one is created if omitted.
+
+    Examples
+    --------
+    >>> sched = EventScheduler()
+    >>> fired = []
+    >>> _ = sched.schedule_in(5.0, lambda: fired.append(sched.clock.now))
+    >>> sched.run()
+    1
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: list[_Entry] = []
+        self._entries: dict[tuple, _Entry] = {}
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, when: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self.clock.now:
+            raise SchedulerError(
+                f"cannot schedule event at {when} before current time "
+                f"{self.clock.now}"
+            )
+        seq = next(self._seq)
+        entry = _Entry(when, seq, callback, label)
+        heapq.heappush(self._heap, entry)
+        self._entries[(when, seq)] = entry
+        return EventHandle(when=when, seq=seq, label=label)
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event.
+
+        Returns ``True`` if the event was pending and is now cancelled,
+        ``False`` if it already fired or was already cancelled.
+        """
+        entry = self._entries.get((handle.when, handle.seq))
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        del self._entries[(handle.when, handle.seq)]
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            del self._entries[(entry.when, entry.seq)]
+            self.clock.advance_to(entry.when)
+            self._events_processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains (or limits are hit).
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time; the
+            clock is then advanced to ``until`` so post-run reads see the full
+            horizon.
+        max_events:
+            Safety valve for runaway self-rescheduling loops.
+
+        Returns the number of events processed by this call.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.when > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.clock.now:
+            try:
+                self.clock.advance_to(until)
+            except ClockError:  # pragma: no cover - guarded above
+                pass
+        return processed
+
+    def _peek(self) -> Optional[_Entry]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Shortcut for ``self.clock.now``."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (excluding cancelled tombstones)."""
+        return len(self._entries)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired since construction."""
+        return self._events_processed
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when idle."""
+        entry = self._peek()
+        return entry.when if entry is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(now={self.clock.now:.3f}, pending={self.pending}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,123 @@
+"""Deterministic random-number streams.
+
+Every experiment takes a single integer ``seed``; components derive their own
+independent sub-streams by *splitting* the root stream with a string label.
+Splitting is stable: the same (seed, label-path) always yields the same
+stream, regardless of what other components do — adding a new component to an
+experiment never perturbs the randomness seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Derive a child seed from (seed, label) via SHA-256.
+
+    Hashing avoids the correlated low-bit problem of naive seed arithmetic and
+    keeps derivation independent of Python's hash randomization.
+    """
+    payload = f"{seed}:{label}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A labelled, splittable wrapper around :class:`random.Random`.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for this stream.
+    label:
+        Human-readable path of split labels, for debugging.
+    """
+
+    def __init__(self, seed: int, label: str = "root") -> None:
+        self.seed = int(seed)
+        self.label = label
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    def split(self, label: str) -> "RandomStream":
+        """Create an independent child stream identified by ``label``."""
+        child_seed = _derive_seed(self.seed, label)
+        return RandomStream(child_seed, f"{self.label}/{label}")
+
+    # ------------------------------------------------------------------
+    # Draws (thin, explicit delegation — no __getattr__ magic)
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        return self._rng.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        return self._rng.randrange(stop)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def choices(self, population: Sequence[T], weights: Sequence[float], k: int) -> list:
+        return self._rng.choices(population, weights=weights, k=k)
+
+    def sample(self, population: Sequence[T], k: int) -> list:
+        return self._rng.sample(population, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def lognormvariate(self, mu: float, sigma: float) -> float:
+        return self._rng.lognormvariate(mu, sigma)
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Draw an index proportionally to ``weights``."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        x = self._rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            if w < 0:
+                raise ValueError("weights must be non-negative")
+            acc += w
+            if x < acc:
+                return i
+        return len(weights) - 1
+
+    def zipf_rank(self, n: int, alpha: float = 1.0) -> int:
+        """Draw a 1-based rank from a Zipf distribution over ``n`` items.
+
+        Used by the synthetic internet to assign Alexa-style popularity.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        # Inverse-CDF on the normalized harmonic weights.
+        weights = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+        return self.weighted_index(weights) + 1
+
+    def __repr__(self) -> str:
+        return f"RandomStream(seed={self.seed}, label={self.label!r})"
+
+
+def spread(seed: int, labels: Iterable[str]) -> dict:
+    """Convenience: build a dict of independent streams from one seed."""
+    root = RandomStream(seed)
+    return {label: root.split(label) for label in labels}

@@ -1,0 +1,65 @@
+"""SPF as an SMTP pre-acceptance policy.
+
+Plugs the :class:`~repro.dns.spf.SPFEvaluator` into the server policy
+chain: a hard SPF ``fail`` rejects at MAIL FROM time; ``softfail`` can be
+configured to reject or merely annotate.  Stacks under
+:class:`~repro.smtp.server.CompositePolicy` with DNSBL and greylisting —
+the full pre-acceptance battery of a 2015 mail server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dns.spf import SPFEvaluator, SPFResult
+from ..net.address import IPv4Address
+from .message import domain_of
+from .replies import Reply
+from .server import ConnectionPolicy, PolicyDecision
+
+
+@dataclass
+class SPFEvent:
+    """One SPF evaluation, as logged by the policy."""
+
+    client: IPv4Address
+    sender: str
+    result: SPFResult
+
+
+class SPFPolicy(ConnectionPolicy):
+    """Rejects senders whose domain's SPF policy fails the client IP."""
+
+    def __init__(
+        self,
+        evaluator: SPFEvaluator,
+        reject_softfail: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.reject_softfail = reject_softfail
+        self.events: List[SPFEvent] = []
+        self.rejections = 0
+
+    def on_mail_from(self, client: IPv4Address, sender: str) -> PolicyDecision:
+        result = self.evaluator.check(client, domain_of(sender))
+        self.events.append(SPFEvent(client=client, sender=sender, result=result))
+        reject = result is SPFResult.FAIL or (
+            self.reject_softfail and result is SPFResult.SOFTFAIL
+        )
+        if reject:
+            self.rejections += 1
+            return PolicyDecision.reject(
+                Reply(
+                    550,
+                    f"5.7.23 SPF validation failed for {sender} "
+                    f"from [{client}]",
+                )
+            )
+        return PolicyDecision.ok()
+
+    def result_counts(self) -> dict:
+        counts: dict = {}
+        for event in self.events:
+            counts[event.result] = counts.get(event.result, 0) + 1
+        return counts

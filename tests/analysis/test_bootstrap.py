@@ -1,0 +1,75 @@
+"""Unit tests for the bootstrap confidence intervals."""
+
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean,
+    median,
+)
+
+
+class TestStatistics:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate(self):
+        ci = bootstrap_ci(list(range(100)), median, seed=1)
+        assert ci.estimate in ci
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_for_seed(self):
+        samples = [1.0, 5.0, 9.0, 2.0, 7.0, 3.0]
+        a = bootstrap_ci(samples, mean, seed=4)
+        b = bootstrap_ci(samples, mean, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_different_seeds_differ(self):
+        samples = [1.0, 5.0, 9.0, 2.0, 7.0, 3.0]
+        a = bootstrap_ci(samples, mean, seed=4, resamples=100)
+        b = bootstrap_ci(samples, mean, seed=5, resamples=100)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_narrower_for_larger_samples(self):
+        small = bootstrap_ci([float(i % 10) for i in range(20)], mean, seed=1)
+        large = bootstrap_ci([float(i % 10) for i in range(2000)], mean, seed=1)
+        assert large.width < small.width
+
+    def test_higher_level_wider(self):
+        samples = [float(i % 17) for i in range(100)]
+        narrow = bootstrap_ci(samples, mean, level=0.5, seed=1)
+        wide = bootstrap_ci(samples, mean, level=0.99, seed=1)
+        assert wide.width >= narrow.width
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_ci([5.0] * 30, mean, seed=1)
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], mean)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], mean, level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], mean, resamples=5)
+
+    def test_str_rendering(self):
+        ci = ConfidenceInterval(estimate=2.0, low=1.0, high=3.0, level=0.95)
+        assert "95%" in str(ci)
+        assert 2.5 in ci
+        assert 4.0 not in ci

@@ -1,0 +1,134 @@
+"""Unit tests for the MX-behaviour taxonomy and bot retry models."""
+
+import pytest
+
+from repro.botnet.behavior import MXBehavior, defeats_nolisting, select_targets
+from repro.botnet.retry import (
+    KELIHOS_MODES,
+    EmpiricalRetryModel,
+    FireAndForget,
+    RetryMode,
+    kelihos_retry_model,
+)
+from repro.dns.mxutil import MailExchanger
+from repro.net.address import IPv4Address
+from repro.sim.rng import RandomStream
+
+
+def mx(pref, name, resolvable=True):
+    address = IPv4Address.parse(f"10.0.0.{pref}") if resolvable else None
+    return MailExchanger(preference=pref, hostname=name, address=address)
+
+
+EXCHANGERS = [mx(1, "primary"), mx(2, "middle"), mx(3, "lowest")]
+
+
+class TestSelectTargets:
+    def test_rfc_compliant_walks_all_in_order(self):
+        targets = select_targets(MXBehavior.RFC_COMPLIANT, EXCHANGERS)
+        assert [t.hostname for t in targets] == ["primary", "middle", "lowest"]
+
+    def test_primary_only(self):
+        targets = select_targets(MXBehavior.PRIMARY_ONLY, EXCHANGERS)
+        assert [t.hostname for t in targets] == ["primary"]
+
+    def test_secondary_only_takes_lowest_priority(self):
+        targets = select_targets(MXBehavior.SECONDARY_ONLY, EXCHANGERS)
+        assert [t.hostname for t in targets] == ["lowest"]
+
+    def test_all_mx_covers_everything(self):
+        targets = select_targets(
+            MXBehavior.ALL_MX, EXCHANGERS, rng=RandomStream(1)
+        )
+        assert sorted(t.hostname for t in targets) == [
+            "lowest",
+            "middle",
+            "primary",
+        ]
+
+    def test_all_mx_shuffles_eventually(self):
+        orders = {
+            tuple(
+                t.hostname
+                for t in select_targets(
+                    MXBehavior.ALL_MX, EXCHANGERS, rng=RandomStream(seed)
+                )
+            )
+            for seed in range(20)
+        }
+        assert len(orders) > 1
+
+    def test_unresolvable_exchangers_skipped(self):
+        exchangers = [mx(1, "ghost", resolvable=False), mx(2, "alive")]
+        targets = select_targets(MXBehavior.PRIMARY_ONLY, exchangers)
+        assert [t.hostname for t in targets] == ["alive"]
+
+    def test_empty_exchangers(self):
+        assert select_targets(MXBehavior.RFC_COMPLIANT, []) == []
+
+    def test_defeats_nolisting(self):
+        assert not defeats_nolisting(MXBehavior.PRIMARY_ONLY)
+        assert defeats_nolisting(MXBehavior.SECONDARY_ONLY)
+        assert defeats_nolisting(MXBehavior.RFC_COMPLIANT)
+        assert defeats_nolisting(MXBehavior.ALL_MX)
+
+
+class TestFireAndForget:
+    def test_never_retries(self):
+        model = FireAndForget()
+        rng = RandomStream(1)
+        assert model.next_delay(1, rng) is None
+        assert model.next_delay(100, rng) is None
+
+
+class TestEmpiricalRetryModel:
+    def test_respects_min_delay(self):
+        model = EmpiricalRetryModel(min_delay=300.0)
+        rng = RandomStream(2)
+        for attempt in range(1, 20):
+            delay = model.next_delay(attempt, rng)
+            if delay is not None:
+                assert delay >= 300.0
+
+    def test_gives_up_after_max_attempts(self):
+        model = EmpiricalRetryModel(max_attempts=3)
+        rng = RandomStream(3)
+        assert model.next_delay(3, rng) is None
+        assert model.next_delay(2, rng) is not None
+
+    def test_early_attempts_cluster_short(self):
+        model = kelihos_retry_model()
+        delays = [
+            model.next_delay(1, RandomStream(seed)) for seed in range(200)
+        ]
+        short = sum(1 for d in delays if d <= 600)
+        assert short / len(delays) > 0.9
+
+    def test_late_attempts_cluster_long(self):
+        model = kelihos_retry_model()
+        delays = [
+            model.next_delay(10, RandomStream(seed)) for seed in range(200)
+        ]
+        long = sum(1 for d in delays if d >= 80000)
+        assert long / len(delays) > 0.5
+
+    def test_delays_fall_in_known_modes(self):
+        model = kelihos_retry_model()
+        rng = RandomStream(4)
+        for attempt in (1, 3, 8):
+            for _ in range(50):
+                delay = model.next_delay(attempt, rng)
+                assert any(
+                    mode.low <= delay <= mode.high or delay == 300.0
+                    for mode in KELIHOS_MODES
+                )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalRetryModel(modes=[])
+        with pytest.raises(ValueError):
+            EmpiricalRetryModel(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryMode(low=0, high=10, weight=1)
+        with pytest.raises(ValueError):
+            RetryMode(low=10, high=5, weight=1)

@@ -1,0 +1,116 @@
+"""Tests for the adaptation sweep, dialect survey and long-term analysis."""
+
+import pytest
+
+from repro.core.adaptation import (
+    BEHAVIOR_CLASSES,
+    ecosystem_weights,
+    measure_class_verdicts,
+    obsolescence_level,
+    sweep_adaptation,
+)
+from repro.core.dialect_survey import run_dialect_survey
+from repro.core.longterm import run_longterm_analysis
+
+
+class TestAdaptationSweep:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        return measure_class_verdicts()
+
+    def test_class_verdicts_measured_not_assumed(self, verdicts):
+        assert verdicts["naive"].blocked_by_greylisting
+        assert verdicts["naive"].blocked_by_nolisting
+        assert not verdicts["grey-adapted"].blocked_by_greylisting
+        assert verdicts["grey-adapted"].blocked_by_nolisting
+        assert verdicts["nolist-adapted"].blocked_by_greylisting
+        assert not verdicts["nolist-adapted"].blocked_by_nolisting
+        assert not verdicts["fully-adapted"].blocked_by_greylisting
+        assert not verdicts["fully-adapted"].blocked_by_nolisting
+
+    def test_four_behavior_classes(self):
+        assert len(BEHAVIOR_CLASSES) == 4
+
+    def test_weights_sum_to_one(self):
+        for level in (0.0, 0.3, 1.0):
+            weights = ecosystem_weights(level)
+            assert sum(weights.values()) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ecosystem_weights(1.5)
+
+    def test_coverage_decreases_with_adaptation(self):
+        points = sweep_adaptation(levels=(0.0, 0.5, 1.0))
+        combined = [p.combined_coverage for p in points]
+        assert combined[0] == pytest.approx(1.0)
+        assert combined == sorted(combined, reverse=True)
+        assert combined[-1] == 0.0
+
+    def test_status_quo_matches_2015_picture(self):
+        # At zero full adaptation the combination still blocks everything
+        # (the paper's 2015 finding), while each alone misses a chunk.
+        point = sweep_adaptation(levels=(0.0,))[0]
+        assert point.combined_coverage == pytest.approx(1.0)
+        assert point.greylisting_coverage < 1.0
+        assert point.nolisting_coverage < 1.0
+
+    def test_obsolescence_level(self):
+        points = sweep_adaptation(levels=(0.0, 0.25, 0.6, 1.0))
+        level = obsolescence_level(points, floor=0.5)
+        assert level == 0.6
+        assert obsolescence_level(points, floor=0.0) == 1.0
+
+
+class TestDialectSurvey:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dialect_survey(num_sessions=300, seed=29)
+
+    def test_counts_consistent(self, result):
+        assert result.sessions == 300
+        assert (
+            result.true_positives
+            + result.false_positives
+            + result.false_negatives
+            + result.true_negatives
+            == 300
+        )
+        assert sum(result.dialect_histogram.values()) == 300
+
+    def test_attribution_is_perfect_on_known_dialects(self, result):
+        # All four dialects have distinct wire features.
+        assert result.attribution_accuracy == 1.0
+
+    def test_no_false_positives_on_clean_mtas(self, result):
+        assert result.false_positives == 0
+        assert result.precision == 1.0
+
+    def test_recall_imperfect_because_darkmailer_speaks_well(self, result):
+        # Darkmailer's near-compliant dialect slips under the bot
+        # threshold: wire manners alone cannot catch everyone.
+        assert 0.5 < result.recall < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_dialect_survey(num_sessions=0)
+
+
+class TestLongTermAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_longterm_analysis(num_messages=1200, duration_days=120)
+
+    def test_covers_the_full_window(self, result):
+        # ~17 weeks of data, all with traffic.
+        assert result.weeks_observed >= 16
+
+    def test_delivery_rate_stable_over_time(self, result):
+        # Sochor-style finding: on a stationary mix the weekly delivery
+        # rate barely moves.
+        assert result.delivery_stability is not None
+        assert result.delivery_stability < 0.15
+
+    def test_delivery_and_loss_complement(self, result):
+        for delivered, lost in zip(result.weekly_delivery, result.weekly_loss):
+            assert delivered.count == lost.count  # same events, two predicates
+            if delivered.count:
+                assert delivered.matching + lost.matching == delivered.count

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(sub.choices) == {
+            "adoption",
+            "defenses",
+            "webmail",
+            "mta-survey",
+            "kelihos",
+            "deployment",
+            "synergy",
+            "adaptation",
+            "dialects",
+            "variants",
+            "filter",
+            "scorecard",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_mta_survey(self, capsys):
+        assert main(["mta-survey"]) == 0
+        out = capsys.readouterr().out
+        assert "sendmail" in out and "exchange" in out
+
+    def test_webmail_small_threshold(self, capsys):
+        assert main(["webmail", "--threshold", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "gmail.com" in out
+
+    def test_kelihos_default_threshold(self, capsys):
+        assert main(["kelihos", "--messages", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "CDF" in out
+
+    def test_kelihos_long_threshold_prints_figure4(self, capsys):
+        assert main(["kelihos", "--threshold", "21600", "--messages", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmission" in out
+
+    def test_deployment(self, capsys):
+        assert main(["deployment", "--messages", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "delivered" in out
+
+    def test_adoption(self, capsys):
+        assert main(["--seed", "42", "adoption", "--domains", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Using nolisting" in out
+
+    def test_defenses(self, capsys):
+        assert main(["defenses", "--recipients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Kelihos/sample1" in out
+        assert "both combined" in out
+
+    def test_synergy(self, capsys):
+        assert main(["synergy"]) == 0
+        out = capsys.readouterr().out
+        assert "both" in out
+
+    def test_adaptation(self, capsys):
+        assert main(["adaptation"]) == 0
+        out = capsys.readouterr().out
+        assert "Combined" in out
+
+    def test_dialects(self, capsys):
+        assert main(["dialects", "--sessions", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "bot precision" in out
+
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "full-triplet" in out
+
+    def test_filter(self, capsys):
+        assert main(["filter"]) == 0
+        out = capsys.readouterr().out
+        assert "post-acceptance" in out

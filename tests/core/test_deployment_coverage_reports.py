@@ -1,0 +1,134 @@
+"""Tests for the Figure 5 deployment experiment, the §VI coverage headline
+and the textual table/figure reproductions."""
+
+import pytest
+
+from repro.core.coverage import (
+    PAPER_COMBINED_GLOBAL_SHARE,
+    build_coverage_report,
+)
+from repro.core.defense_matrix import build_defense_matrix
+from repro.core.deployment import run_deployment_experiment
+from repro.core.greylist_experiment import run_kelihos_threshold_sweep
+from repro.core.mta_survey import run_mta_survey
+from repro.core.reports import (
+    figure2_text,
+    figure3_text,
+    figure4_text,
+    figure5_text,
+    table1_text,
+    table2_text,
+    table3_text,
+    table4_text,
+)
+from repro.core.adoption import run_adoption_experiment
+from repro.core.webmail_experiment import run_webmail_experiment
+from repro.greylist.whitelist import default_provider_whitelist
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return run_deployment_experiment(num_messages=1000)
+
+
+class TestDeploymentExperiment:
+    def test_figure5_shape(self, deployment):
+        cdf = deployment.delay_cdf()
+        # Figure 5's headline: only ~half of benign mail within 10 minutes.
+        assert 0.35 <= cdf.at(600.0) <= 0.70
+        # Tail beyond 50 minutes exists ("and some even beyond that").
+        assert cdf.at(3000.0) < 0.97
+        assert cdf.max > 7200.0
+
+    def test_all_delays_at_least_threshold(self, deployment):
+        assert min(deployment.delays) >= deployment.threshold
+
+    def test_counts_consistent(self, deployment):
+        assert deployment.delivered + deployment.lost == deployment.num_messages
+        assert len(deployment.delays) == deployment.delivered
+
+    def test_fraction_helper(self, deployment):
+        assert deployment.fraction_delivered_within(600.0) == pytest.approx(
+            deployment.delay_cdf().at(600.0)
+        )
+
+    def test_whitelist_reduces_delay(self):
+        plain = run_deployment_experiment(num_messages=500, seed=5)
+        whitelisted = run_deployment_experiment(
+            num_messages=500, seed=5, whitelist=default_provider_whitelist()
+        )
+        # Whitelisting the webmail farms removes their huge delays.
+        assert whitelisted.delay_cdf().mean < plain.delay_cdf().mean
+        assert whitelisted.lost <= plain.lost
+
+
+class TestCoverageHeadline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        matrix = build_defense_matrix(recipients=2)
+        return build_coverage_report(matrix)
+
+    def test_combined_covers_all_families(self, report):
+        assert report.combined_covers_all_families
+
+    def test_combined_share_is_paper_headline(self, report):
+        # "over 70% of the world spam is prevented by using either one or
+        # the other technique."
+        assert report.combined_share == pytest.approx(
+            PAPER_COMBINED_GLOBAL_SHARE, abs=0.005
+        )
+        assert report.combined_share > 0.70
+
+    def test_greylisting_alone_beats_nolisting_alone(self, report):
+        # Greylisting stops Cutwail+Darkmailers (~52% of botnet spam);
+        # nolisting stops Kelihos (~36%).
+        assert report.greylisting_share > report.nolisting_share
+        assert report.greylisting_share == pytest.approx(
+            (0.4690 + 0.0721 + 0.0258) * 0.76, abs=0.001
+        )
+        assert report.nolisting_share == pytest.approx(0.3633 * 0.76, abs=0.001)
+
+
+class TestReports:
+    def test_table1_text(self):
+        text = table1_text()
+        assert "Cutwail" in text and "46.90%" in text
+        assert "Kelihos" in text and "36.33%" in text
+        assert "70.69%" in text
+
+    def test_table2_text(self):
+        matrix = build_defense_matrix(recipients=2)
+        text = table2_text(matrix)
+        assert "Kelihos/sample6" in text
+        lines = [l for l in text.splitlines() if "Kelihos/" in l]
+        assert all("no" in l and "YES" in l for l in lines)
+
+    def test_table3_text(self):
+        text = table3_text(run_webmail_experiment())
+        assert "gmail.com" in text
+        assert "434:46" in text
+        assert "no (7)" in text
+
+    def test_table4_text(self):
+        text = table4_text(run_mta_survey())
+        assert "sendmail" in text and "qmail" in text
+        assert "6.67" in text
+
+    def test_figure2_text(self):
+        result = run_adoption_experiment(num_domains=2000, seed=42)
+        text = figure2_text(result)
+        assert "One MX record" in text
+        assert "Using nolisting" in text
+        assert "top-15" in text
+
+    def test_figure3_and_4_text(self):
+        sweep = run_kelihos_threshold_sweep(num_messages=20)
+        fig3 = figure3_text(sweep[1])
+        assert "CDF" in fig3 and "Kelihos" in fig3
+        fig4 = figure4_text(sweep[2])
+        assert "failed" in fig4 and "delivered" in fig4
+
+    def test_figure5_text(self, deployment):
+        text = figure5_text(deployment.delay_cdf(), deployment.threshold)
+        assert "Figure 5" in text
+        assert "F(10min)" in text

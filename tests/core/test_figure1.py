@@ -1,0 +1,40 @@
+"""Tests for the generated Figure 1 protocol sequence."""
+
+from repro.core.figure1 import figure1_text, run_figure1
+
+
+class TestFigure1:
+    def test_sequence_has_the_figures_beats(self):
+        trace = run_figure1()
+        rendered = str(trace)
+        assert "MX QUERY for foo.net" in rendered
+        assert "MX 0 smtp.foo.net; MX 15 smtp1.foo.net" in rendered
+        assert "RST (connection refused)" in rendered
+        assert "HELO local.domain.name" in rendered
+        assert trace.delivered
+
+    def test_primary_refusal_precedes_secondary_success(self):
+        rendered = str(run_figure1())
+        assert rendered.index("RST") < rendered.index("220 smtp.foo.net")
+
+    def test_custom_domain(self):
+        trace = run_figure1(domain="bar.example")
+        assert "MX QUERY for bar.example" in str(trace)
+        assert trace.delivered
+
+    def test_text_rendering_has_header(self):
+        text = figure1_text()
+        assert text.startswith("Figure 1:")
+        assert "delivered=True" in text
+
+    def test_query_log_populated(self):
+        # The resolver's wire trace drives the figure; it must record both
+        # the MX and the follow-up A queries.
+        from repro.core.testbed import Defense, Testbed, TestbedConfig
+        from repro.dns.mxutil import resolve_exchangers
+
+        testbed = Testbed(TestbedConfig(defense=Defense.NOLISTING))
+        resolve_exchangers(testbed.resolver, "victim.example")
+        qtypes = [qtype for (qtype, _, _) in testbed.resolver.query_log]
+        assert "MX" in qtypes
+        assert "A" in qtypes

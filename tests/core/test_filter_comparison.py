@@ -1,0 +1,46 @@
+"""Tests for the pre- vs post-acceptance filtering comparison."""
+
+import pytest
+
+from repro.core.filter_comparison import compare_filtering, run_filter_comparison
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {r.configuration: r for r in compare_filtering()}
+
+
+class TestFilterComparison:
+    def test_greylist_blocks_only_fire_and_forget(self, results):
+        greylist = results["greylist"]
+        assert greylist.spam_block_rate == pytest.approx(0.5)
+
+    def test_content_filter_blocks_template_spam(self, results):
+        content = results["content"]
+        assert content.spam_block_rate == 1.0
+        assert content.benign_false_positives == 0
+
+    def test_stack_blocks_everything(self, results):
+        both = results["both"]
+        assert both.spam_block_rate == 1.0
+
+    def test_no_benign_mail_lost_anywhere(self, results):
+        for result in results.values():
+            assert result.benign_delivered == result.benign_sent
+
+    def test_bandwidth_asymmetry(self, results):
+        # Content filtering pays full body bytes for every spam; the stack
+        # saves the fire-and-forget half by rejecting pre-DATA.
+        assert (
+            results["both"].spam_bytes_received
+            < results["content"].spam_bytes_received
+        )
+
+    def test_delay_asymmetry(self, results):
+        # Greylisting delays benign mail; pure content filtering does not.
+        assert results["content"].benign_mean_delay == 0.0
+        assert results["greylist"].benign_mean_delay >= 300.0
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            run_filter_comparison("bogus")

@@ -1,0 +1,126 @@
+"""Tests for nolisting benign impact, multi-MX greylisting and DB growth."""
+
+import pytest
+
+from repro.core.cost_attack import compare_sweeping, run_cost_attack
+from repro.core.multimx_greylist import compare_store_sharing
+from repro.core.nolisting_impact import run_nolisting_impact
+from repro.core.testbed import Defense
+from repro.dns.mxutil import MailExchanger, shuffle_equal_preferences
+from repro.net.address import IPv4Address
+from repro.sim.rng import RandomStream
+
+
+class TestNolistingImpact:
+    @pytest.fixture(scope="class")
+    def nolisted(self):
+        return run_nolisting_impact()
+
+    def test_compliant_senders_unaffected(self, nolisted):
+        # §II: "it should not affect the delivery of benign emails, and it
+        # should not introduce any delay".
+        assert nolisted.compliant_loss == 0
+        for name, outcome in nolisted.outcomes.items():
+            if name == "notifier":
+                continue
+            assert outcome.delivery_rate == 1.0, name
+            assert outcome.max_delay == 0.0, name
+
+    def test_primary_only_notifiers_lose_mail(self, nolisted):
+        # §II: "can prevent some legitimate email client ... from
+        # delivering legitimate messages".
+        notifier = nolisted.notifier_outcome
+        assert notifier.delivered == 0
+        assert notifier.lost == notifier.messages
+
+    def test_plain_domain_delivers_everything(self):
+        plain = run_nolisting_impact(defense=Defense.NONE)
+        assert plain.notifier_outcome.delivery_rate == 1.0
+        assert plain.compliant_loss == 0
+
+
+class TestEqualPreferenceShuffle:
+    def _exchangers(self):
+        return [
+            MailExchanger(10, f"mx{i}.d", IPv4Address.parse(f"10.0.0.{i}"))
+            for i in range(4)
+        ] + [MailExchanger(20, "backup.d", IPv4Address.parse("10.0.1.1"))]
+
+    def test_groups_stay_in_preference_order(self):
+        shuffled = shuffle_equal_preferences(
+            self._exchangers(), RandomStream(1)
+        )
+        assert shuffled[-1].hostname == "backup.d"
+        assert {e.hostname for e in shuffled[:4]} == {
+            "mx0.d", "mx1.d", "mx2.d", "mx3.d",
+        }
+
+    def test_shuffling_varies_by_seed(self):
+        orders = {
+            tuple(
+                e.hostname
+                for e in shuffle_equal_preferences(
+                    self._exchangers(), RandomStream(seed)
+                )
+            )
+            for seed in range(10)
+        }
+        assert len(orders) > 1
+
+    def test_empty_list(self):
+        assert shuffle_equal_preferences([], RandomStream(1)) == []
+
+
+class TestMultiMXGreylisting:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_store_sharing(num_messages=30)
+
+    def test_everything_still_delivered(self, results):
+        # postfix retries patiently; no loss either way.
+        for result in results:
+            assert result.delivered == result.messages
+
+    def test_per_host_stores_cost_extra_deferrals(self, results):
+        per_host, shared = results
+        assert not per_host.shared_store and shared.shared_store
+        assert per_host.total_deferrals > shared.total_deferrals
+
+    def test_per_host_stores_increase_delay(self, results):
+        per_host, shared = results
+        assert per_host.mean_delay > shared.mean_delay
+        assert per_host.max_delay >= shared.max_delay
+
+    def test_shared_store_gives_exact_threshold_delay(self, results):
+        _, shared = results
+        # With a shared store, every postfix sender passes on its first
+        # retry at exactly the 300 s threshold.
+        assert shared.mean_delay == pytest.approx(300.0)
+
+
+class TestCostAttack:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return compare_sweeping(duration_days=10.0)
+
+    def test_unswept_db_grows_with_spam_volume(self, pair):
+        unswept, _ = pair
+        assert unswept.final_entries >= unswept.spam_attempts * 0.9
+
+    def test_sweeping_bounds_db(self, pair):
+        unswept, swept = pair
+        assert swept.peak_entries < unswept.peak_entries / 2
+        # Steady state ~ spam_per_day * retry_window_days.
+        expected = 500 * swept.retry_window_days
+        assert swept.final_entries < expected * 2
+
+    def test_bytes_track_entries(self, pair):
+        _, swept = pair
+        assert swept.peak_bytes > 0
+        for sample in swept.samples:
+            if sample.entries:
+                assert sample.size_bytes > sample.entries * 40
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError):
+            run_cost_attack(spam_per_day=-1)

@@ -1,0 +1,58 @@
+"""Tests for the internet-scale spam-flow synthesis."""
+
+import pytest
+
+from repro.core.internet_scale import (
+    run_internet_scale,
+    sweep_deployment_rates,
+)
+
+
+class TestInternetScale:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_internet_scale(messages=300)
+
+    def test_accounting_consistent(self, result):
+        assert result.spam_sent == 300
+        assert sum(result.per_family_sent.values()) == 300
+        assert result.spam_delivered == sum(
+            result.per_family_delivered.values()
+        )
+        assert 0.0 <= result.block_rate <= 1.0
+
+    def test_family_mix_follows_table1(self, result):
+        # Cutwail carries ~47% of botnet spam; sampling noise aside the
+        # generated wave reflects that.
+        cutwail_share = result.per_family_sent["Cutwail"] / result.spam_sent
+        assert 0.35 <= cutwail_share <= 0.60
+
+    def test_measured_tracks_analytic_prediction(self, result):
+        assert result.block_rate == pytest.approx(
+            result.predicted_block_rate, abs=0.08
+        )
+
+    def test_no_defenses_blocks_nothing(self):
+        result = run_internet_scale(
+            greylisting_rate=0.0, nolisting_rate=0.0, messages=120
+        )
+        assert result.block_rate == 0.0
+
+    def test_block_rate_grows_with_deployment(self):
+        sweep = sweep_deployment_rates(messages=200)
+        rates = [r.block_rate for r in sweep]
+        assert rates[0] == 0.0
+        assert all(b >= a - 0.02 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] > 0.4
+
+    def test_per_family_selectivity(self, result):
+        # Greylisted domains block the fire-and-forget families only;
+        # nolisted domains block Kelihos only — so with both deployed,
+        # every family loses *some* mail but none loses all.
+        for family in ("Cutwail", "Kelihos"):
+            rate = result.family_delivery_rate(family)
+            assert 0.0 < rate < 1.0, family
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            run_internet_scale(greylisting_rate=0.9, nolisting_rate=0.3)

@@ -1,0 +1,46 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.scorecard import build_scorecard, scorecard_text
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_scorecard(scale=0.3)
+
+    def test_all_claims_hold(self, rows):
+        failing = [row.claim for row in rows if not row.holds]
+        assert failing == []
+
+    def test_every_headline_artefact_covered(self, rows):
+        artefacts = {row.artefact for row in rows}
+        assert {
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Table II",
+            "Table III",
+            "Table IV",
+            "§VI",
+        } <= artefacts
+
+    def test_text_rendering(self):
+        text = scorecard_text(scale=0.3)
+        assert "Reproduction scorecard" in text
+        assert "claims hold" in text
+        # No row carries a failing verdict.
+        assert "| NO" not in text
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            build_scorecard(scale=0)
+
+    def test_cli_subcommand_exit_zero(self, capsys):
+        assert main(["scorecard", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "scorecard" in out

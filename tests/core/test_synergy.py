@@ -1,0 +1,104 @@
+"""Tests for the greylisting x blacklisting synergy experiment."""
+
+import pytest
+
+from repro.botnet.families import CUTWAIL
+from repro.core.synergy import (
+    run_synergy_comparison,
+    run_synergy_experiment,
+    sweep_greylist_delay,
+    sweep_listing_speed,
+)
+
+
+class TestThreeWayComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_synergy_comparison(num_messages=10)
+
+    def test_greylist_alone_fails_against_kelihos(self, results):
+        greylist = results[0]
+        assert greylist.configuration == "greylist"
+        assert not greylist.blocked
+
+    def test_dnsbl_alone_fails_against_first_burst(self, results):
+        dnsbl = results[1]
+        assert dnsbl.configuration == "dnsbl"
+        # The first attempts land before the blacklist reacts.
+        assert not dnsbl.blocked
+
+    def test_stacked_defenses_block(self, results):
+        both = results[2]
+        assert both.configuration == "both"
+        assert both.blocked
+        assert both.dnsbl_rejections > 0
+
+    def test_listing_happened_in_all_runs(self, results):
+        for result in results:
+            assert result.listed_after is not None
+
+
+class TestListingSpeedSweep:
+    def test_delivery_monotone_in_listing_speed(self):
+        results = sweep_listing_speed(
+            rates_per_hour=(2.0, 60.0, 600.0), num_messages=10
+        )
+        rates = [r.delivery_rate for r in results]
+        assert rates[0] >= rates[-1]
+        # Slow ecosystem: spam gets through; fast ecosystem: blocked.
+        assert results[0].delivery_rate > 0.5
+        assert results[-1].delivery_rate == 0.0
+
+    def test_faster_reporting_lists_sooner(self):
+        results = sweep_listing_speed(
+            rates_per_hour=(2.0, 600.0), num_messages=5
+        )
+        assert results[1].listed_after < results[0].listed_after
+
+
+class TestGreylistDelaySweep:
+    def test_long_threshold_buys_blacklist_time(self):
+        results = sweep_greylist_delay(
+            delays=(300.0, 21600.0), reports_per_hour=60.0, num_messages=10
+        )
+        short, long = results
+        # Short threshold: the ~300-600 s Kelihos retry beats the listing.
+        assert not short.blocked
+        # Six-hour threshold: by the time a retry could pass the greylist,
+        # the sender is long listed.
+        assert long.blocked
+
+
+class TestConfigValidation:
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            run_synergy_experiment("bogus")
+
+    def test_fire_and_forget_blocked_by_greylist_alone(self):
+        result = run_synergy_experiment(
+            "greylist", family=CUTWAIL, num_messages=5
+        )
+        assert result.blocked
+        assert result.dnsbl_rejections == 0
+
+    def test_local_reporting_accelerates_listing(self):
+        lazy = run_synergy_experiment(
+            "both",
+            reports_per_hour=1.0,
+            detection_threshold=5,
+            local_reporting=False,
+            num_messages=10,
+            horizon=50000.0,
+        )
+        eager = run_synergy_experiment(
+            "both",
+            reports_per_hour=1.0,
+            detection_threshold=5,
+            local_reporting=True,
+            num_messages=10,
+            horizon=50000.0,
+        )
+        # With local sightings counting, the 10-recipient burst alone trips
+        # the threshold immediately.
+        assert eager.listed_after is not None
+        assert lazy.listed_after is None or eager.listed_after < lazy.listed_after

@@ -1,0 +1,62 @@
+"""Tests for the greylisting-variant comparison experiment."""
+
+import math
+
+import pytest
+
+from repro.core.variants import ALL_STRATEGIES, compare_variants
+from repro.greylist.keying import KeyStrategy
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {r.strategy: r for r in compare_variants()}
+
+
+class TestVariantComparison:
+    def test_all_strategies_measured(self, results):
+        assert set(results) == set(ALL_STRATEGIES)
+
+    def test_fine_keys_resist_sender_rotation(self, results):
+        assert results[KeyStrategy.FULL_TRIPLET].rotation_resistant
+        assert results[KeyStrategy.CLIENT_NET_TRIPLET].rotation_resistant
+
+    def test_coarse_keys_fall_to_rotation(self, results):
+        sender_domain = results[KeyStrategy.SENDER_DOMAIN]
+        client_only = results[KeyStrategy.CLIENT_ONLY]
+        assert sender_domain.rotating_spam_delivered == 20
+        assert client_only.rotating_spam_delivered == 20
+
+    def test_coarser_keys_need_fewer_attempts(self, results):
+        # Once whitelisted, the rotation flows: fewer total attempts.
+        assert (
+            results[KeyStrategy.CLIENT_ONLY].rotating_spam_attempts
+            < results[KeyStrategy.SENDER_DOMAIN].rotating_spam_attempts
+            < results[KeyStrategy.FULL_TRIPLET].rotating_spam_attempts
+        )
+
+    def test_db_load_shrinks_with_coarseness(self, results):
+        assert (
+            results[KeyStrategy.CLIENT_ONLY].db_entries_under_rotation
+            <= results[KeyStrategy.SENDER_DOMAIN].db_entries_under_rotation
+            <= results[KeyStrategy.FULL_TRIPLET].db_entries_under_rotation
+        )
+        assert results[KeyStrategy.CLIENT_ONLY].db_entries_under_rotation == 1
+
+    def test_net_keying_tolerates_farms(self, results):
+        # Only /24 keying spares the rotating benign farm the extra rounds.
+        net = results[KeyStrategy.CLIENT_NET_TRIPLET]
+        full = results[KeyStrategy.FULL_TRIPLET]
+        assert net.farm_delivery_delay < full.farm_delivery_delay
+        assert not math.isinf(full.farm_delivery_delay)
+
+    def test_no_free_lunch(self, results):
+        # No strategy is both rotation-resistant and farm-fast AND db-lean:
+        # the trade-off is real.
+        for result in results.values():
+            wins = (
+                result.rotation_resistant,
+                result.farm_delivery_delay < 400.0,
+                result.db_entries_under_rotation <= 7,
+            )
+            assert not all(wins), result.strategy

@@ -1,0 +1,144 @@
+"""Unit tests for the stub resolver: caching, errors and glue elision."""
+
+import pytest
+
+from repro.dns.resolver import NXDomain, ServFail, StubResolver
+from repro.dns.zone import ZoneStore
+from repro.net.address import IPv4Address
+from repro.sim.clock import Clock
+from repro.sim.rng import RandomStream
+
+
+def addr(text):
+    return IPv4Address.parse(text)
+
+
+@pytest.fixture
+def zones():
+    store = ZoneStore()
+    zone = store.create("foo.net")
+    zone.add_a("smtp.foo.net", addr("1.2.3.4"))
+    zone.add_a("smtp1.foo.net", addr("1.2.3.5"))
+    zone.add_mx(0, "smtp.foo.net")
+    zone.add_mx(15, "smtp1.foo.net")
+    return store
+
+
+class TestAQueries:
+    def test_resolve_a(self, zones):
+        resolver = StubResolver(zones)
+        records = resolver.resolve_a("smtp.foo.net")
+        assert records[0].address == addr("1.2.3.4")
+
+    def test_resolve_address_shortcut(self, zones):
+        resolver = StubResolver(zones)
+        assert resolver.resolve_address("smtp.foo.net") == addr("1.2.3.4")
+
+    def test_nxdomain_for_unknown_zone(self, zones):
+        resolver = StubResolver(zones)
+        with pytest.raises(NXDomain):
+            resolver.resolve_a("smtp.bar.net")
+
+    def test_nxdomain_for_unknown_name_in_zone(self, zones):
+        resolver = StubResolver(zones)
+        with pytest.raises(NXDomain):
+            resolver.resolve_a("ghost.foo.net")
+
+    def test_nodata_for_apex_without_a(self, zones):
+        resolver = StubResolver(zones)
+        assert resolver.resolve_a("foo.net") == []
+
+    def test_resolve_address_raises_on_nodata(self, zones):
+        resolver = StubResolver(zones)
+        with pytest.raises(NXDomain):
+            resolver.resolve_address("foo.net")
+
+
+class TestMXQueries:
+    def test_resolve_mx_with_glue(self, zones):
+        resolver = StubResolver(zones)
+        answer = resolver.resolve_mx("foo.net")
+        assert len(answer.records) == 2
+        assert answer.additional["smtp.foo.net"] == addr("1.2.3.4")
+        assert answer.additional["smtp1.foo.net"] == addr("1.2.3.5")
+
+    def test_glue_elision(self, zones):
+        resolver = StubResolver(
+            zones, glue_elision_rate=1.0, rng=RandomStream(1)
+        )
+        answer = resolver.resolve_mx("foo.net")
+        assert answer.additional == {}
+        assert len(answer.records) == 2  # records themselves still present
+
+    def test_elision_requires_rng(self, zones):
+        with pytest.raises(ValueError):
+            StubResolver(zones, glue_elision_rate=0.5)
+
+    def test_elision_rate_bounds(self, zones):
+        with pytest.raises(ValueError):
+            StubResolver(zones, glue_elision_rate=1.5, rng=RandomStream(1))
+
+    def test_mx_for_unknown_domain(self, zones):
+        resolver = StubResolver(zones)
+        with pytest.raises(NXDomain):
+            resolver.resolve_mx("bar.net")
+
+    def test_dangling_exchange_omitted_from_additional(self, zones):
+        zones.zone_for("foo.net").add_mx(20, "ghost.foo.net")
+        resolver = StubResolver(zones)
+        answer = resolver.resolve_mx("foo.net")
+        assert "ghost.foo.net" not in answer.additional
+        assert len(answer.records) == 3
+
+
+class TestCache:
+    def test_cache_hit_counted(self, zones):
+        resolver = StubResolver(zones, clock=Clock())
+        resolver.resolve_a("smtp.foo.net")
+        resolver.resolve_a("smtp.foo.net")
+        assert resolver.cache_hits == 1
+        assert resolver.queries == 1
+
+    def test_cache_expires_with_ttl(self, zones):
+        clock = Clock()
+        resolver = StubResolver(zones, clock=clock)
+        resolver.resolve_a("smtp.foo.net")
+        clock.advance_by(3601)
+        resolver.resolve_a("smtp.foo.net")
+        assert resolver.queries == 2
+
+    def test_flush_cache(self, zones):
+        resolver = StubResolver(zones, clock=Clock())
+        resolver.resolve_a("smtp.foo.net")
+        resolver.flush_cache()
+        resolver.resolve_a("smtp.foo.net")
+        assert resolver.queries == 2
+
+    def test_cache_without_clock_never_expires(self, zones):
+        resolver = StubResolver(zones)
+        resolver.resolve_a("smtp.foo.net")
+        resolver.resolve_a("smtp.foo.net")
+        assert resolver.queries == 1
+
+
+class TestFailureInjection:
+    def test_broken_zone_servfails(self, zones):
+        resolver = StubResolver(zones)
+        resolver.break_zone("foo.net")
+        with pytest.raises(ServFail):
+            resolver.resolve_a("smtp.foo.net")
+        with pytest.raises(ServFail):
+            resolver.resolve_mx("foo.net")
+
+    def test_repair_zone(self, zones):
+        resolver = StubResolver(zones)
+        resolver.break_zone("foo.net")
+        resolver.repair_zone("foo.net")
+        assert resolver.resolve_address("smtp.foo.net") == addr("1.2.3.4")
+
+    def test_cached_answers_survive_outage(self, zones):
+        resolver = StubResolver(zones, clock=Clock())
+        resolver.resolve_a("smtp.foo.net")
+        resolver.break_zone("foo.net")
+        # Cached entry still served; only fresh queries fail.
+        assert resolver.resolve_a("smtp.foo.net")

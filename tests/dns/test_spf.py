@@ -1,0 +1,168 @@
+"""Unit tests for the SPF substrate and its SMTP policy."""
+
+import pytest
+
+from repro.dns.resolver import StubResolver
+from repro.dns.spf import (
+    SPFEvaluator,
+    SPFResult,
+    SPFSyntaxError,
+    parse_spf,
+    publish_spf,
+)
+from repro.dns.zone import ZoneStore
+from repro.net.address import IPv4Address
+from repro.smtp.spf_policy import SPFPolicy
+
+AUTHORIZED = IPv4Address.parse("10.1.0.5")
+STRANGER = IPv4Address.parse("203.0.113.9")
+
+
+@pytest.fixture
+def zones():
+    store = ZoneStore()
+    zone = store.create("sender.example")
+    zone.add_a("sender.example", IPv4Address.parse("10.2.0.1"))
+    zone.add_a("smtp.sender.example", IPv4Address.parse("10.3.0.1"))
+    zone.add_mx(10, "smtp.sender.example")
+    publish_spf(
+        zone, "sender.example", "v=spf1 ip4:10.1.0.0/24 a mx -all"
+    )
+    return store
+
+
+@pytest.fixture
+def evaluator(zones):
+    return SPFEvaluator(StubResolver(zones))
+
+
+class TestParsing:
+    def test_basic_record(self):
+        record = parse_spf("x.net", "v=spf1 ip4:10.0.0.0/24 mx -all")
+        assert [m.kind for m in record.mechanisms] == ["ip4", "mx", "all"]
+        assert record.mechanisms[-1].qualifier is SPFResult.FAIL
+
+    def test_qualifiers(self):
+        record = parse_spf("x.net", "v=spf1 ~ip4:10.0.0.1 ?a +mx -all")
+        assert record.mechanisms[0].qualifier is SPFResult.SOFTFAIL
+        assert record.mechanisms[1].qualifier is SPFResult.NEUTRAL
+        assert record.mechanisms[2].qualifier is SPFResult.PASS
+
+    def test_bare_ip_gets_slash32(self):
+        record = parse_spf("x.net", "v=spf1 ip4:10.0.0.1 -all")
+        assert record.mechanisms[0].value == "10.0.0.1/32"
+
+    def test_rejects_non_spf(self):
+        with pytest.raises(SPFSyntaxError):
+            parse_spf("x.net", "hello world")
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SPFSyntaxError):
+            parse_spf("x.net", "v=spf1 include:other.net -all")
+
+    def test_rejects_bad_network(self):
+        with pytest.raises(SPFSyntaxError):
+            parse_spf("x.net", "v=spf1 ip4:999.1.1.1 -all")
+
+    def test_str_roundtrip(self):
+        text = "v=spf1 ip4:10.0.0.0/24 mx -all"
+        record = parse_spf("x.net", text)
+        assert str(record) == text
+
+    def test_publish_validates(self, zones):
+        zone = zones.zone_for("sender.example")
+        with pytest.raises(SPFSyntaxError):
+            publish_spf(zone, "sender.example", "v=spf1 bogus")
+
+
+class TestEvaluation:
+    def test_ip4_pass(self, evaluator):
+        assert evaluator.check(AUTHORIZED, "sender.example") is SPFResult.PASS
+
+    def test_a_mechanism_pass(self, evaluator):
+        assert (
+            evaluator.check(IPv4Address.parse("10.2.0.1"), "sender.example")
+            is SPFResult.PASS
+        )
+
+    def test_mx_mechanism_pass(self, evaluator):
+        assert (
+            evaluator.check(IPv4Address.parse("10.3.0.1"), "sender.example")
+            is SPFResult.PASS
+        )
+
+    def test_stranger_fails(self, evaluator):
+        assert evaluator.check(STRANGER, "sender.example") is SPFResult.FAIL
+
+    def test_no_record_is_none(self, zones, evaluator):
+        zones.create("nospf.example")
+        assert evaluator.check(STRANGER, "nospf.example") is SPFResult.NONE
+
+    def test_unknown_domain_is_none(self, evaluator):
+        assert evaluator.check(STRANGER, "ghost.example") is SPFResult.NONE
+
+    def test_softfail_policy(self, zones):
+        zone = zones.create("soft.example")
+        publish_spf(zone, "soft.example", "v=spf1 ip4:10.1.0.0/24 ~all")
+        evaluator = SPFEvaluator(StubResolver(zones))
+        assert evaluator.check(STRANGER, "soft.example") is SPFResult.SOFTFAIL
+
+    def test_neutral_when_no_all(self, zones):
+        zone = zones.create("open.example")
+        publish_spf(zone, "open.example", "v=spf1 ip4:10.1.0.0/24")
+        evaluator = SPFEvaluator(StubResolver(zones))
+        assert evaluator.check(STRANGER, "open.example") is SPFResult.NEUTRAL
+
+    def test_broken_record_permerror(self, zones):
+        zone = zones.create("broken.example")
+        zone.add_txt("broken.example", "v=spf1 include:x.net -all")
+        evaluator = SPFEvaluator(StubResolver(zones))
+        assert evaluator.check(STRANGER, "broken.example") is SPFResult.PERMERROR
+
+
+class TestSPFPolicy:
+    def test_fail_rejected_at_mail_from(self, evaluator):
+        policy = SPFPolicy(evaluator)
+        decision = policy.on_mail_from(STRANGER, "user@sender.example")
+        assert not decision.accept
+        assert decision.reply.code == 550
+        assert policy.rejections == 1
+
+    def test_pass_accepted(self, evaluator):
+        policy = SPFPolicy(evaluator)
+        assert policy.on_mail_from(AUTHORIZED, "user@sender.example").accept
+
+    def test_none_accepted(self, evaluator):
+        policy = SPFPolicy(evaluator)
+        assert policy.on_mail_from(STRANGER, "user@unknown.example").accept
+
+    def test_softfail_configurable(self, zones):
+        zone = zones.create("soft.example")
+        publish_spf(zone, "soft.example", "v=spf1 ip4:10.1.0.0/24 ~all")
+        evaluator = SPFEvaluator(StubResolver(zones))
+        lenient = SPFPolicy(evaluator, reject_softfail=False)
+        strict = SPFPolicy(evaluator, reject_softfail=True)
+        assert lenient.on_mail_from(STRANGER, "u@soft.example").accept
+        assert not strict.on_mail_from(STRANGER, "u@soft.example").accept
+
+    def test_result_counts(self, evaluator):
+        policy = SPFPolicy(evaluator)
+        policy.on_mail_from(AUTHORIZED, "u@sender.example")
+        policy.on_mail_from(STRANGER, "u@sender.example")
+        counts = policy.result_counts()
+        assert counts[SPFResult.PASS] == 1
+        assert counts[SPFResult.FAIL] == 1
+
+    def test_spoofing_bot_blocked_composite(self, zones, evaluator):
+        # A bot spoofing a protected domain from its own address is stopped
+        # by SPF before greylisting even sees the triplet.
+        from repro.greylist.policy import GreylistPolicy
+        from repro.sim.clock import Clock
+        from repro.smtp.server import CompositePolicy
+
+        clock = Clock()
+        greylist = GreylistPolicy(clock=clock, delay=300)
+        composite = CompositePolicy([SPFPolicy(evaluator), greylist])
+        decision = composite.on_mail_from(STRANGER, "ceo@sender.example")
+        assert not decision.accept
+        assert greylist.store.size == 0

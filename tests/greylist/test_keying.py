@@ -1,0 +1,99 @@
+"""Unit tests for greylisting key strategies."""
+
+import pytest
+
+from repro.greylist.keying import (
+    KeyStrategy,
+    derive_key,
+    resists_sender_rotation,
+)
+from repro.greylist.policy import GreylistPolicy
+from repro.net.address import IPv4Address
+from repro.sim.clock import Clock
+
+CLIENT = IPv4Address.parse("198.51.100.7")
+NEIGHBOR = IPv4Address.parse("198.51.100.200")
+FAR = IPv4Address.parse("203.0.113.1")
+
+
+class TestDeriveKey:
+    def test_full_triplet_distinguishes_everything(self):
+        a = derive_key(KeyStrategy.FULL_TRIPLET, CLIENT, "s@x.net", "r@y.net")
+        assert a != derive_key(
+            KeyStrategy.FULL_TRIPLET, CLIENT, "s2@x.net", "r@y.net"
+        )
+        assert a != derive_key(
+            KeyStrategy.FULL_TRIPLET, NEIGHBOR, "s@x.net", "r@y.net"
+        )
+
+    def test_client_net_merges_neighbors(self):
+        a = derive_key(
+            KeyStrategy.CLIENT_NET_TRIPLET, CLIENT, "s@x.net", "r@y.net"
+        )
+        b = derive_key(
+            KeyStrategy.CLIENT_NET_TRIPLET, NEIGHBOR, "s@x.net", "r@y.net"
+        )
+        assert a == b
+        assert a != derive_key(
+            KeyStrategy.CLIENT_NET_TRIPLET, FAR, "s@x.net", "r@y.net"
+        )
+
+    def test_sender_domain_merges_localparts(self):
+        a = derive_key(KeyStrategy.SENDER_DOMAIN, CLIENT, "s1@x.net", "r@y.net")
+        b = derive_key(KeyStrategy.SENDER_DOMAIN, CLIENT, "s2@x.net", "r@y.net")
+        assert a == b
+        assert a != derive_key(
+            KeyStrategy.SENDER_DOMAIN, CLIENT, "s1@other.net", "r@y.net"
+        )
+
+    def test_client_only_merges_everything_but_ip(self):
+        a = derive_key(KeyStrategy.CLIENT_ONLY, CLIENT, "s1@x.net", "r1@y.net")
+        b = derive_key(KeyStrategy.CLIENT_ONLY, CLIENT, "s2@z.net", "r2@w.net")
+        assert a == b
+        assert a != derive_key(
+            KeyStrategy.CLIENT_ONLY, NEIGHBOR, "s1@x.net", "r1@y.net"
+        )
+
+    def test_rotation_resistance_flags(self):
+        assert resists_sender_rotation(KeyStrategy.FULL_TRIPLET)
+        assert resists_sender_rotation(KeyStrategy.CLIENT_NET_TRIPLET)
+        assert not resists_sender_rotation(KeyStrategy.SENDER_DOMAIN)
+        assert not resists_sender_rotation(KeyStrategy.CLIENT_ONLY)
+
+
+class TestPolicyWithStrategies:
+    def test_sender_domain_policy_passes_rotated_localparts(self):
+        clock = Clock()
+        policy = GreylistPolicy(
+            clock=clock, delay=300, key_strategy=KeyStrategy.SENDER_DOMAIN
+        )
+        assert not policy.on_rcpt_to(CLIENT, "a@list.net", "r@y.net").accept
+        clock.advance_by(301)
+        # Different localpart, same domain: matches the history.
+        assert policy.on_rcpt_to(CLIENT, "b@list.net", "r@y.net").accept
+
+    def test_client_only_policy_whitelists_the_ip(self):
+        clock = Clock()
+        policy = GreylistPolicy(
+            clock=clock, delay=300, key_strategy=KeyStrategy.CLIENT_ONLY
+        )
+        policy.on_rcpt_to(CLIENT, "a@x.net", "r@y.net")
+        clock.advance_by(301)
+        assert policy.on_rcpt_to(CLIENT, "b@z.net", "q@w.net").accept
+        # A third, totally unrelated message from the same IP: instant.
+        assert policy.on_rcpt_to(CLIENT, "c@v.net", "p@u.net").accept
+
+    def test_network_prefix_kwarg_promotes_strategy(self):
+        policy = GreylistPolicy(
+            clock=Clock(), delay=300, network_prefix=24
+        )
+        assert policy.key_strategy is KeyStrategy.CLIENT_NET_TRIPLET
+
+    def test_explicit_strategy_wins_over_prefix_default(self):
+        policy = GreylistPolicy(
+            clock=Clock(),
+            delay=300,
+            network_prefix=16,
+            key_strategy=KeyStrategy.CLIENT_ONLY,
+        )
+        assert policy.key_strategy is KeyStrategy.CLIENT_ONLY

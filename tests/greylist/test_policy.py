@@ -1,0 +1,164 @@
+"""Unit tests for the Postgrey-compatible greylisting policy."""
+
+import pytest
+
+from repro.greylist.policy import GreylistAction, GreylistPolicy
+from repro.greylist.triplet import Triplet
+from repro.greylist.whitelist import Whitelist, default_provider_whitelist
+from repro.net.address import IPv4Address
+from repro.sim.clock import Clock
+
+CLIENT = IPv4Address.parse("198.51.100.7")
+OTHER = IPv4Address.parse("198.51.100.8")
+SENDER = "alice@sender.example"
+RCPT = "user@victim.example"
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def policy(clock):
+    return GreylistPolicy(clock=clock, delay=300.0)
+
+
+class TestCoreSemantics:
+    def test_first_attempt_deferred(self, policy):
+        decision = policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert not decision.accept
+        assert decision.reply.code == 450
+        assert policy.events[-1].action is GreylistAction.GREYLISTED_NEW
+
+    def test_retry_before_threshold_deferred(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(100)
+        decision = policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert not decision.accept
+        assert policy.events[-1].action is GreylistAction.GREYLISTED_EARLY
+
+    def test_retry_after_threshold_passes(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        decision = policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert decision.accept
+        assert policy.events[-1].action is GreylistAction.PASSED
+
+    def test_exact_threshold_passes(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(300)
+        assert policy.on_rcpt_to(CLIENT, SENDER, RCPT).accept
+
+    def test_passed_triplet_stays_whitelisted(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(10)
+        decision = policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert decision.accept
+        assert policy.events[-1].action is GreylistAction.PASSED_KNOWN
+
+    def test_zero_delay_still_requires_second_attempt(self, clock):
+        policy = GreylistPolicy(clock=clock, delay=0.0)
+        assert not policy.on_rcpt_to(CLIENT, SENDER, RCPT).accept
+        clock.advance_by(1)
+        assert policy.on_rcpt_to(CLIENT, SENDER, RCPT).accept
+
+    def test_different_ip_restarts_triplet(self, clock, policy):
+        # The Table III failure mode: provider farms rotating IPs.
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        decision = policy.on_rcpt_to(OTHER, SENDER, RCPT)
+        assert not decision.accept
+        assert policy.events[-1].action is GreylistAction.GREYLISTED_NEW
+
+    def test_different_sender_restarts_triplet(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        assert not policy.on_rcpt_to(CLIENT, "other@sender.example", RCPT).accept
+
+    def test_message_content_is_irrelevant(self, clock, policy):
+        # Same triplet, conceptually different messages: passes (the §V.A
+        # confound the paper had to rule out).
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        assert policy.on_rcpt_to(CLIENT, SENDER, RCPT).accept
+
+    def test_negative_delay_rejected(self, clock):
+        with pytest.raises(ValueError):
+            GreylistPolicy(clock=clock, delay=-1)
+
+
+class TestWhitelisting:
+    def test_static_whitelist_bypasses(self, clock):
+        whitelist = Whitelist()
+        whitelist.add_address(CLIENT)
+        policy = GreylistPolicy(clock=clock, delay=300, whitelist=whitelist)
+        decision = policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert decision.accept
+        assert policy.events[-1].action is GreylistAction.WHITELISTED
+
+    def test_sender_domain_whitelist(self, clock):
+        policy = GreylistPolicy(
+            clock=clock, delay=300, whitelist=default_provider_whitelist()
+        )
+        assert policy.on_rcpt_to(CLIENT, "someone@gmail.com", RCPT).accept
+
+    def test_auto_whitelist_promotes_client(self, clock):
+        policy = GreylistPolicy(
+            clock=clock, delay=300, auto_whitelist_clients=2
+        )
+        for index in range(2):
+            sender = f"s{index}@x.example"
+            policy.on_rcpt_to(CLIENT, sender, RCPT)
+            clock.advance_by(301)
+            assert policy.on_rcpt_to(CLIENT, sender, RCPT).accept
+        # Third triplet from the same client skips greylisting entirely.
+        decision = policy.on_rcpt_to(CLIENT, "fresh@x.example", RCPT)
+        assert decision.accept
+        assert policy.events[-1].action is GreylistAction.AUTO_WHITELISTED
+
+    def test_auto_whitelist_disabled_by_default(self, clock, policy):
+        for index in range(5):
+            sender = f"s{index}@x.example"
+            policy.on_rcpt_to(CLIENT, sender, RCPT)
+            clock.advance_by(301)
+            policy.on_rcpt_to(CLIENT, sender, RCPT)
+        assert not policy.on_rcpt_to(CLIENT, "fresh@x.example", RCPT).accept
+
+
+class TestNetworkPrefixKeying:
+    def test_slash24_keying_tolerates_pool_rotation(self, clock):
+        policy = GreylistPolicy(clock=clock, delay=300, network_prefix=24)
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        # Different IP in the same /24 matches the same entry.
+        assert policy.on_rcpt_to(OTHER, SENDER, RCPT).accept
+
+    def test_slash24_keying_still_blocks_other_networks(self, clock):
+        policy = GreylistPolicy(clock=clock, delay=300, network_prefix=24)
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        far = IPv4Address.parse("203.0.113.1")
+        assert not policy.on_rcpt_to(far, SENDER, RCPT).accept
+
+
+class TestIntrospection:
+    def test_deferrals_and_passes(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(301)
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert len(policy.deferrals()) == 1
+        assert len(policy.passes()) == 1
+
+    def test_pass_delay(self, clock, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        clock.advance_by(450)
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        t = Triplet(CLIENT, SENDER, RCPT)
+        assert policy.pass_delay(t) == 450.0
+
+    def test_pass_delay_none_when_never_passed(self, policy):
+        policy.on_rcpt_to(CLIENT, SENDER, RCPT)
+        assert policy.pass_delay(Triplet(CLIENT, SENDER, RCPT)) is None

@@ -1,0 +1,75 @@
+"""Unit tests for greylisting whitelists."""
+
+from repro.greylist.whitelist import (
+    DEFAULT_WHITELISTED_DOMAINS,
+    Whitelist,
+    default_provider_whitelist,
+)
+from repro.net.address import IPv4Address, IPv4Network
+
+
+def addr(text):
+    return IPv4Address.parse(text)
+
+
+class TestWhitelistMatching:
+    def test_empty_matches_nothing(self):
+        whitelist = Whitelist()
+        assert whitelist.is_empty
+        assert not whitelist.matches(addr("1.2.3.4"), "a@b.net")
+
+    def test_exact_address(self):
+        whitelist = Whitelist()
+        whitelist.add_address(addr("1.2.3.4"))
+        assert whitelist.matches_client(addr("1.2.3.4"))
+        assert not whitelist.matches_client(addr("1.2.3.5"))
+
+    def test_cidr_network(self):
+        whitelist = Whitelist()
+        whitelist.add_cidr("10.1.0.0/16")
+        assert whitelist.matches_client(addr("10.1.200.3"))
+        assert not whitelist.matches_client(addr("10.2.0.1"))
+
+    def test_add_network_object(self):
+        whitelist = Whitelist()
+        whitelist.add_network(IPv4Network.parse("172.16.0.0/12"))
+        assert whitelist.matches_client(addr("172.20.1.1"))
+
+    def test_sender_domain(self):
+        whitelist = Whitelist()
+        whitelist.add_sender_domain("Gmail.COM")
+        assert whitelist.matches_sender("bob@gmail.com")
+        assert not whitelist.matches_sender("bob@gmail.com.evil.net")
+
+    def test_helo_suffix(self):
+        whitelist = Whitelist()
+        whitelist.add_helo_suffix("google.com")
+        assert whitelist.matches_helo("mail-out17.google.com")
+        assert whitelist.matches_helo("google.com")
+        assert not whitelist.matches_helo("notgoogle.com")
+        assert not whitelist.matches_helo(None)
+
+    def test_composite_matches(self):
+        whitelist = Whitelist()
+        whitelist.add_sender_domain("gmail.com")
+        assert whitelist.matches(addr("9.9.9.9"), "x@gmail.com")
+        assert not whitelist.matches(addr("9.9.9.9"), "x@other.net")
+
+    def test_update_merges(self):
+        a = Whitelist()
+        a.add_sender_domain("gmail.com")
+        b = Whitelist()
+        b.add_address(addr("1.2.3.4"))
+        a.update(b)
+        assert a.matches_client(addr("1.2.3.4"))
+        assert a.matches_sender("x@gmail.com")
+
+
+class TestDefaultProviderWhitelist:
+    def test_covers_all_table3_providers(self):
+        whitelist = default_provider_whitelist()
+        for domain in DEFAULT_WHITELISTED_DOMAINS:
+            assert whitelist.matches_sender(f"user@{domain}")
+
+    def test_ten_providers_listed(self):
+        assert len(DEFAULT_WHITELISTED_DOMAINS) == 10

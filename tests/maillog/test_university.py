@@ -1,0 +1,113 @@
+"""Tests for the synthetic university deployment (the Figure 5 substrate)."""
+
+import pytest
+
+from repro.greylist.whitelist import default_provider_whitelist
+from repro.maillog.university import (
+    DEFAULT_SENDER_MIX,
+    DeploymentConfig,
+    UniversityDeployment,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = DeploymentConfig(num_messages=800, duration_days=120)
+    return UniversityDeployment(config, seed=5).run()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(threshold=-1)
+
+    def test_rejects_zero_messages(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(num_messages=0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(sender_mix=())
+
+    def test_default_mix_weights_sum_to_one(self):
+        assert sum(w for (_, w, _) in DEFAULT_SENDER_MIX) == pytest.approx(1.0)
+
+
+class TestRunOutput:
+    def test_one_log_per_message(self, result):
+        assert len(result.logs) == 800
+
+    def test_every_message_attempted_at_least_once(self, result):
+        assert all(log.attempts >= 1 for log in result.logs)
+
+    def test_most_messages_delivered(self, result):
+        assert result.loss_rate < 0.10
+
+    def test_non_retriers_lose_their_mail(self, result):
+        no_retry = [log for log in result.logs if log.sender_kind == "no-retry"]
+        assert no_retry
+        assert all(not log.delivered for log in no_retry)
+
+    def test_delivered_messages_need_at_least_two_attempts(self, result):
+        # Nobody is whitelisted in the default config, so a single attempt
+        # can never deliver.
+        for log in result.delivered:
+            assert log.attempts >= 2
+
+    def test_delays_respect_threshold(self, result):
+        for delay in result.delivery_delays():
+            assert delay >= 300.0
+
+    def test_kind_counts_cover_all_messages(self, result):
+        assert sum(result.kind_counts.values()) == 800
+
+    def test_deterministic(self):
+        config = DeploymentConfig(num_messages=100)
+        a = UniversityDeployment(config, seed=9).run()
+        b = UniversityDeployment(config, seed=9).run()
+        delays_a = sorted(a.delivery_delays())
+        delays_b = sorted(b.delivery_delays())
+        assert delays_a == delays_b
+
+
+class TestFigure5Shape:
+    def test_cdf_shape_matches_paper(self, result):
+        delays = result.delivery_delays()
+        n = len(delays)
+        within_10min = sum(1 for d in delays if d <= 600) / n
+        beyond_50min = sum(1 for d in delays if d > 3000) / n
+        # "only half of the messages get delivered in less than 10 minutes"
+        assert 0.35 <= within_10min <= 0.70
+        # "some messages are delivered with over 50 minutes of delay"
+        assert beyond_50min >= 0.03
+        # "and some even beyond that"
+        assert max(delays) > 7200
+
+    def test_much_slower_than_malware_curve(self, result):
+        # Figure 3 vs Figure 5: Kelihos passes a 300 s threshold mostly
+        # within ~600 s; benign mail takes far longer on average.
+        delays = sorted(result.delivery_delays())
+        median = delays[len(delays) // 2]
+        assert median > 400.0
+
+
+class TestWhitelistAblation:
+    def test_whitelisting_providers_removes_webmail_delay(self):
+        config = DeploymentConfig(
+            num_messages=400, whitelist=default_provider_whitelist()
+        )
+        result = UniversityDeployment(config, seed=5).run()
+        webmail = [
+            log
+            for log in result.logs
+            if log.sender_kind.startswith("webmail:") and log.delivered
+        ]
+        assert webmail
+        # Whitelisted providers deliver on the first attempt: zero delay.
+        assert all(log.delivery_delay == 0.0 for log in webmail)
+
+    def test_threshold_zero_still_delays_one_round(self):
+        config = DeploymentConfig(num_messages=200, threshold=0.0)
+        result = UniversityDeployment(config, seed=5).run()
+        for log in result.delivered:
+            assert log.attempts >= 2

@@ -1,0 +1,126 @@
+"""Unit tests for retry schedules."""
+
+import pytest
+
+from repro.mta.schedule import (
+    DAY,
+    MINUTE,
+    FixedIntervalSchedule,
+    GeometricBackoffSchedule,
+    GiveUpAfterSchedule,
+    LinearBackoffSchedule,
+    NoRetrySchedule,
+    TableSchedule,
+)
+
+
+class TestFixedInterval:
+    def test_constant_delay(self):
+        schedule = FixedIntervalSchedule(interval=600)
+        assert schedule.next_delay(1, 0) == 600
+        assert schedule.next_delay(7, 3600) == 600
+
+    def test_gives_up_at_queue_lifetime(self):
+        schedule = FixedIntervalSchedule(interval=600, max_queue_time=1200)
+        # A retry landing exactly on the lifetime is still made ...
+        assert schedule.next_delay(2, 600) == 600
+        # ... but one that would land past it is not.
+        assert schedule.next_delay(3, 1200) is None
+
+    def test_attempt_times(self):
+        schedule = FixedIntervalSchedule(interval=600, max_queue_time=DAY)
+        times = schedule.attempt_times(1800)
+        assert times == [0.0, 600.0, 1200.0, 1800.0]
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            FixedIntervalSchedule(interval=0)
+
+
+class TestLinearBackoff:
+    def test_growing_delays(self):
+        schedule = LinearBackoffSchedule(base=100)
+        assert schedule.next_delay(1, 0) == 100
+        assert schedule.next_delay(2, 100) == 200
+        assert schedule.next_delay(3, 300) == 300
+
+    def test_cap(self):
+        schedule = LinearBackoffSchedule(base=100, cap=250)
+        assert schedule.next_delay(5, 0) == 250
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            LinearBackoffSchedule(base=100, cap=50)
+
+
+class TestGeometricBackoff:
+    def test_doubling(self):
+        schedule = GeometricBackoffSchedule(base=100, factor=2.0)
+        assert schedule.next_delay(1, 0) == 100
+        assert schedule.next_delay(2, 0) == 200
+        assert schedule.next_delay(4, 0) == 800
+
+    def test_cap(self):
+        schedule = GeometricBackoffSchedule(base=100, factor=2.0, cap=300)
+        assert schedule.next_delay(10, 0) == 300
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricBackoffSchedule(base=100, factor=0.5)
+
+
+class TestTableSchedule:
+    def test_follows_explicit_ages(self):
+        schedule = TableSchedule(ages=[300, 900, 1800])
+        # Attempt 1 fails at age 0 -> next at 300.
+        assert schedule.next_delay(1, 0) == 300
+        # Attempt 2 fails at 300 -> next at 900.
+        assert schedule.next_delay(2, 300) == 600
+        assert schedule.next_delay(3, 900) == 900
+
+    def test_repeat_last_gap(self):
+        schedule = TableSchedule(ages=[300, 900], repeat_last=True)
+        assert schedule.next_delay(3, 900) == 600  # 900 - 300
+        assert schedule.next_delay(10, 5000) == 600
+
+    def test_no_repeat_gives_up(self):
+        schedule = TableSchedule(ages=[300, 900], repeat_last=False)
+        assert schedule.next_delay(3, 900) is None
+
+    def test_drift_falls_back_to_nominal_gap(self):
+        schedule = TableSchedule(ages=[300, 900])
+        # Attempt 2 fired late (age 400 > nominal 300): still positive delay.
+        delay = schedule.next_delay(2, 400)
+        assert delay is not None and delay > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableSchedule(ages=[300, 200])
+        with pytest.raises(ValueError):
+            TableSchedule(ages=[300, 300])
+        with pytest.raises(ValueError):
+            TableSchedule(ages=[-1])
+
+    def test_attempt_times_monotonic(self):
+        schedule = TableSchedule(ages=[300, 900, 1800], max_queue_time=DAY)
+        times = schedule.attempt_times(7200)
+        assert times[0] == 0.0
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestWrappers:
+    def test_give_up_after_caps_attempts(self):
+        inner = FixedIntervalSchedule(interval=60, max_queue_time=DAY)
+        schedule = GiveUpAfterSchedule(inner, max_attempts=3)
+        assert schedule.next_delay(1, 0) == 60
+        assert schedule.next_delay(2, 60) == 60
+        assert schedule.next_delay(3, 120) is None
+
+    def test_give_up_validation(self):
+        with pytest.raises(ValueError):
+            GiveUpAfterSchedule(FixedIntervalSchedule(interval=60), 0)
+
+    def test_no_retry(self):
+        schedule = NoRetrySchedule()
+        assert schedule.next_delay(1, 0) is None
+        assert schedule.attempt_times(DAY) == [0.0]

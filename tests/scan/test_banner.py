@@ -1,0 +1,103 @@
+"""Unit tests for banner grabbing and software fingerprinting."""
+
+import pytest
+
+from repro.scan.banner import (
+    SOFTWARE_BY_NAME,
+    SOFTWARE_PROFILES,
+    BannerGrabScanner,
+    HostSoftwareAssignment,
+    fingerprint_banner,
+    survey_software,
+)
+from repro.scan.population import PopulationConfig, SyntheticInternet
+
+
+@pytest.fixture(scope="module")
+def world():
+    internet = SyntheticInternet(PopulationConfig(num_domains=1500), seed=11)
+    assignment = HostSoftwareAssignment(internet, seed=11)
+    scanner = BannerGrabScanner(internet, assignment)
+    return internet, assignment, scanner
+
+
+class TestFingerprinting:
+    def test_each_profile_fingerprints_to_itself(self):
+        for profile in SOFTWARE_PROFILES:
+            banner = profile.banner_for("smtp.example.net")
+            assert fingerprint_banner(banner) == profile.name, profile.name
+
+    def test_unknown_banner_is_other(self):
+        assert fingerprint_banner("220 weird banner here") == "other"
+        assert fingerprint_banner("banana") == "other"
+
+    def test_qmail_bare_esmtp_shape(self):
+        assert fingerprint_banner("220 mx.example.net ESMTP") == "qmail"
+
+    def test_market_shares_sum_to_one(self):
+        assert sum(p.market_share for p in SOFTWARE_PROFILES) == pytest.approx(1.0)
+
+
+class TestAssignment:
+    def test_assignment_deterministic(self, world):
+        internet, assignment, _ = world
+        address = internet.all_mail_addresses()[0]
+        fresh = HostSoftwareAssignment(internet, seed=11)
+        assert assignment.software_for(address) is SOFTWARE_BY_NAME[
+            fresh.software_for(address).name
+        ]
+        assert assignment.offers_starttls(address) == fresh.offers_starttls(
+            address
+        )
+
+    def test_assignment_roughly_matches_market_share(self, world):
+        internet, assignment, _ = world
+        counts = {}
+        addresses = internet.all_mail_addresses()
+        for address in addresses:
+            name = assignment.software_for(address).name
+            counts[name] = counts.get(name, 0) + 1
+        postfix_share = counts.get("postfix", 0) / len(addresses)
+        assert 0.25 < postfix_share < 0.41
+
+
+class TestBannerScan:
+    def test_only_listening_hosts_answer(self, world):
+        internet, _, scanner = world
+        dataset = scanner.scan(0)
+        listening = {
+            a for a in internet.all_mail_addresses()
+            if internet.is_listening(a, 0)
+        }
+        assert {r.address for r in dataset} == listening
+
+    def test_banners_carry_hostnames(self, world):
+        internet, _, scanner = world
+        dataset = scanner.scan(0)
+        record = dataset.records[0]
+        assert record.banner.startswith("220 ")
+        assert ".dom" in record.banner  # generated hostnames
+
+    def test_survey_roundtrip(self, world):
+        _, _, scanner = world
+        survey = survey_software(scanner.scan(0))
+        assert survey.total_hosts == sum(survey.software_counts.values())
+        assert 0.0 < survey.starttls_fraction < 1.0
+        # postfix should be the most common software at these shares.
+        assert survey.ranked()[0][0] in ("postfix", "exim")
+        assert survey.fraction("postfix") > survey.fraction("courier")
+
+    def test_survey_fingerprints_match_assignment(self, world):
+        internet, assignment, scanner = world
+        dataset = scanner.scan(0)
+        for record in dataset.records[:50]:
+            truth = assignment.software_for(record.address).name
+            assert fingerprint_banner(record.banner) == truth
+
+    def test_empty_survey(self):
+        from repro.scan.banner import BannerDataset
+
+        survey = survey_software(BannerDataset(scan_index=0))
+        assert survey.total_hosts == 0
+        assert survey.starttls_fraction == 0.0
+        assert survey.fraction("postfix") == 0.0

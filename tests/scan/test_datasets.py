@@ -1,0 +1,112 @@
+"""Unit tests for the scan-dataset containers."""
+
+import pytest
+
+from repro.net.address import IPv4Address
+from repro.scan.datasets import (
+    DNSScanDataset,
+    DomainObservation,
+    MXObservation,
+    ScanPair,
+    SMTPScanDataset,
+)
+
+
+def addr(text):
+    return IPv4Address.parse(text)
+
+
+class TestDomainObservation:
+    def test_sorted_mx_orders_by_preference_then_name(self):
+        observation = DomainObservation(
+            domain="d.example",
+            mx=[
+                MXObservation(20, "b.d.example", addr("1.1.1.2")),
+                MXObservation(10, "z.d.example", addr("1.1.1.1")),
+                MXObservation(20, "a.d.example", addr("1.1.1.3")),
+            ],
+        )
+        ordered = observation.sorted_mx()
+        assert [(r.preference, r.exchange) for r in ordered] == [
+            (10, "z.d.example"),
+            (20, "a.d.example"),
+            (20, "b.d.example"),
+        ]
+
+    def test_unresolved_count(self):
+        observation = DomainObservation(
+            domain="d.example",
+            mx=[
+                MXObservation(10, "a.d.example", None),
+                MXObservation(20, "b.d.example", addr("1.1.1.1")),
+            ],
+        )
+        assert observation.unresolved_count == 1
+        assert observation.has_mx
+
+    def test_empty_observation(self):
+        observation = DomainObservation(domain="d.example")
+        assert not observation.has_mx
+        assert observation.unresolved_count == 0
+
+
+class TestDNSScanDataset:
+    def test_add_get_iterate(self):
+        dataset = DNSScanDataset(scan_index=0)
+        dataset.add(DomainObservation(domain="a.example"))
+        dataset.add(DomainObservation(domain="b.example"))
+        assert dataset.num_domains == 2
+        assert dataset.get("a.example") is not None
+        assert dataset.get("ghost.example") is None
+        assert {o.domain for o in dataset} == {"a.example", "b.example"}
+
+    def test_add_replaces_same_domain(self):
+        dataset = DNSScanDataset(scan_index=0)
+        dataset.add(DomainObservation(domain="a.example"))
+        dataset.add(DomainObservation(domain="a.example", nxdomain=True))
+        assert dataset.num_domains == 1
+        assert dataset.get("a.example").nxdomain
+
+    def test_unresolved_totals(self):
+        dataset = DNSScanDataset(scan_index=0)
+        dataset.add(
+            DomainObservation(
+                domain="a.example",
+                mx=[MXObservation(10, "mx.a.example", None)],
+            )
+        )
+        assert dataset.num_unresolved_mx == 1
+
+
+class TestSMTPScanDataset:
+    def test_membership(self):
+        dataset = SMTPScanDataset(scan_index=1)
+        dataset.add(addr("1.1.1.1"))
+        assert addr("1.1.1.1") in dataset
+        assert addr("2.2.2.2") not in dataset
+        assert dataset.num_listening == 1
+
+    def test_duplicates_collapse(self):
+        dataset = SMTPScanDataset(scan_index=1)
+        dataset.add(addr("1.1.1.1"))
+        dataset.add(addr("1.1.1.1"))
+        assert dataset.num_listening == 1
+
+
+class TestScanPair:
+    def test_valid_pair(self):
+        pair = ScanPair(
+            dns=(DNSScanDataset(scan_index=0), DNSScanDataset(scan_index=1)),
+            smtp=(SMTPScanDataset(scan_index=0), SMTPScanDataset(scan_index=1)),
+        )
+        assert pair.dns[0].scan_index != pair.dns[1].scan_index
+
+    def test_same_index_rejected(self):
+        with pytest.raises(ValueError):
+            ScanPair(
+                dns=(DNSScanDataset(scan_index=0), DNSScanDataset(scan_index=0)),
+                smtp=(
+                    SMTPScanDataset(scan_index=0),
+                    SMTPScanDataset(scan_index=1),
+                ),
+            )

@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic internet population generator."""
+
+import pytest
+
+from repro.scan.population import (
+    FIGURE2_MIX,
+    DomainCategory,
+    PopulationConfig,
+    SyntheticInternet,
+)
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return SyntheticInternet(PopulationConfig(num_domains=2000), seed=42)
+
+
+class TestConfigValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(
+                num_domains=10,
+                mix={DomainCategory.SINGLE_MX: 0.5},
+            )
+
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(num_domains=10, transient_outage_rate=1.5)
+
+    def test_needs_domains(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(num_domains=0)
+
+    def test_figure2_mix_sums_to_one(self):
+        assert sum(FIGURE2_MIX.values()) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    def test_exact_domain_count(self, internet):
+        assert internet.num_domains == 2000
+        assert len(internet.domains) == 2000
+
+    def test_category_counts_match_mix(self, internet):
+        counts = internet.truth_counts()
+        # Largest-remainder apportionment: counts within 1 of exact shares.
+        for category, fraction in FIGURE2_MIX.items():
+            assert abs(counts[category] - 2000 * fraction) <= 1
+
+    def test_deterministic_for_seed(self):
+        a = SyntheticInternet(PopulationConfig(num_domains=300), seed=7)
+        b = SyntheticInternet(PopulationConfig(num_domains=300), seed=7)
+        assert [t.category for t in a.domains] == [t.category for t in b.domains]
+
+    def test_different_seeds_shuffle_categories(self):
+        a = SyntheticInternet(PopulationConfig(num_domains=300), seed=7)
+        b = SyntheticInternet(PopulationConfig(num_domains=300), seed=8)
+        assert [t.category for t in a.domains] != [t.category for t in b.domains]
+
+    def test_alexa_ranks_are_a_permutation(self, internet):
+        ranks = sorted(t.alexa_rank for t in internet.domains)
+        assert ranks == list(range(1, 2001))
+
+
+class TestGroundTruthStructure:
+    def test_single_mx_domains(self, internet):
+        for truth in internet.domains_in(DomainCategory.SINGLE_MX)[:20]:
+            assert len(truth.mx_hosts) == 1
+            assert truth.primary[2] is not None
+
+    def test_multi_mx_domains(self, internet):
+        for truth in internet.domains_in(DomainCategory.MULTI_MX)[:20]:
+            assert len(truth.mx_hosts) >= 2
+
+    def test_nolisting_domains_have_dead_primary(self, internet):
+        for truth in internet.domains_in(DomainCategory.NOLISTING):
+            primary = truth.primary
+            assert primary is not None
+            assert not internet.is_listening(primary[2], scan_index=0)
+            assert not internet.is_listening(primary[2], scan_index=1)
+            # At least one secondary answers.
+            assert any(
+                addr is not None and internet.is_listening(addr, 0)
+                for (_, _, addr) in truth.secondaries
+            )
+
+    def test_misconfigured_domains_lack_usable_mx(self, internet):
+        for truth in internet.domains_in(DomainCategory.MISCONFIGURED)[:20]:
+            assert all(addr is None for (_, _, addr) in truth.mx_hosts)
+
+    def test_zones_created_for_all_domains(self, internet):
+        assert internet.zones.num_zones == 2000
+
+
+class TestTransientOutages:
+    def test_outage_only_affects_one_scan(self):
+        config = PopulationConfig(
+            num_domains=1000, transient_outage_rate=0.2
+        )
+        internet = SyntheticInternet(config, seed=3)
+        flapping = [t for t in internet.domains if t.outage_scan is not None]
+        assert flapping, "with a 20% rate some domains must flap"
+        for truth in flapping:
+            address = truth.primary[2]
+            down_scan = truth.outage_scan
+            up_scan = 1 - down_scan
+            assert not internet.is_listening(address, down_scan)
+            assert internet.is_listening(address, up_scan)
+
+    def test_persistent_outage_mimics_nolisting(self):
+        config = PopulationConfig(
+            num_domains=500,
+            transient_outage_rate=0.0,
+            persistent_outage_rate=0.5,
+        )
+        internet = SyntheticInternet(config, seed=3)
+        persistent = [t for t in internet.domains if t.persistent_outage]
+        assert persistent
+        for truth in persistent:
+            address = truth.primary[2]
+            assert not internet.is_listening(address, 0)
+            assert not internet.is_listening(address, 1)
+
+    def test_all_mail_addresses_cover_mx_hosts(self, internet):
+        addresses = internet.all_mail_addresses()
+        assert len(addresses) == len(set(addresses))
+        expected = sum(
+            1
+            for t in internet.domains
+            for (_, _, a) in t.mx_hosts
+            if a is not None
+        )
+        assert len(addresses) == expected

@@ -1,0 +1,225 @@
+"""Unit tests for the scanners and the nolisting detection pipeline."""
+
+import pytest
+
+from repro.net.address import IPv4Address
+from repro.scan.datasets import (
+    DNSScanDataset,
+    DomainObservation,
+    MXObservation,
+    ScanPair,
+    SMTPScanDataset,
+)
+from repro.scan.detect import (
+    DomainClass,
+    NolistingDetector,
+    SingleScanVerdict,
+    classify_single_scan,
+    classify_two_scans,
+)
+from repro.scan.population import (
+    DomainCategory,
+    PopulationConfig,
+    SyntheticInternet,
+)
+from repro.scan.scanner import DNSScanner, SMTPScanner
+from repro.sim.rng import RandomStream
+
+
+def addr(text):
+    return IPv4Address.parse(text)
+
+
+def observation(domain="d.example", mx=None, nxdomain=False):
+    return DomainObservation(domain=domain, mx=mx or [], nxdomain=nxdomain)
+
+
+def smtp_with(*addresses):
+    dataset = SMTPScanDataset(scan_index=0)
+    for a in addresses:
+        dataset.add(addr(a))
+    return dataset
+
+
+class TestClassifySingleScan:
+    def test_one_mx(self):
+        obs = observation(
+            mx=[MXObservation(10, "smtp.d.example", addr("1.1.1.1"))]
+        )
+        verdict = classify_single_scan(obs, smtp_with("1.1.1.1"))
+        assert verdict is SingleScanVerdict.ONE_MX
+
+    def test_primary_up(self):
+        obs = observation(
+            mx=[
+                MXObservation(0, "smtp.d.example", addr("1.1.1.1")),
+                MXObservation(15, "smtp1.d.example", addr("1.1.1.2")),
+            ]
+        )
+        verdict = classify_single_scan(obs, smtp_with("1.1.1.1", "1.1.1.2"))
+        assert verdict is SingleScanVerdict.PRIMARY_UP
+
+    def test_nolisting_candidate(self):
+        obs = observation(
+            mx=[
+                MXObservation(0, "smtp.d.example", addr("1.1.1.1")),
+                MXObservation(15, "smtp1.d.example", addr("1.1.1.2")),
+            ]
+        )
+        verdict = classify_single_scan(obs, smtp_with("1.1.1.2"))
+        assert verdict is SingleScanVerdict.NOLISTING_CANDIDATE
+
+    def test_all_down(self):
+        obs = observation(
+            mx=[
+                MXObservation(0, "smtp.d.example", addr("1.1.1.1")),
+                MXObservation(15, "smtp1.d.example", addr("1.1.1.2")),
+            ]
+        )
+        assert classify_single_scan(obs, smtp_with()) is SingleScanVerdict.ALL_DOWN
+
+    def test_priority_order_decides_primary(self):
+        # Records arrive unsorted; preference must decide who is primary.
+        obs = observation(
+            mx=[
+                MXObservation(15, "smtp1.d.example", addr("1.1.1.2")),
+                MXObservation(0, "smtp.d.example", addr("1.1.1.1")),
+            ]
+        )
+        verdict = classify_single_scan(obs, smtp_with("1.1.1.2"))
+        assert verdict is SingleScanVerdict.NOLISTING_CANDIDATE
+
+    def test_unresolved_records_ignored(self):
+        obs = observation(
+            mx=[
+                MXObservation(0, "ghost.d.example", None),
+                MXObservation(15, "smtp1.d.example", addr("1.1.1.2")),
+            ]
+        )
+        # Only one usable record left -> one-MX, not candidate.
+        verdict = classify_single_scan(obs, smtp_with("1.1.1.2"))
+        assert verdict is SingleScanVerdict.ONE_MX
+
+    def test_missing_or_broken_observation_misconfigured(self):
+        assert (
+            classify_single_scan(None, smtp_with())
+            is SingleScanVerdict.MISCONFIGURED
+        )
+        assert (
+            classify_single_scan(observation(nxdomain=True), smtp_with())
+            is SingleScanVerdict.MISCONFIGURED
+        )
+        assert (
+            classify_single_scan(observation(mx=[]), smtp_with())
+            is SingleScanVerdict.MISCONFIGURED
+        )
+
+
+class TestClassifyTwoScans:
+    def test_candidate_in_both_is_nolisting(self):
+        verdict = classify_two_scans(
+            "d",
+            SingleScanVerdict.NOLISTING_CANDIDATE,
+            SingleScanVerdict.NOLISTING_CANDIDATE,
+        )
+        assert verdict.domain_class is DomainClass.NOLISTING
+
+    def test_candidate_in_one_is_transient(self):
+        verdict = classify_two_scans(
+            "d",
+            SingleScanVerdict.NOLISTING_CANDIDATE,
+            SingleScanVerdict.PRIMARY_UP,
+        )
+        assert verdict.domain_class is DomainClass.MULTI_MX_NO_NOLISTING
+
+    def test_primary_up_once_is_definitive(self):
+        verdict = classify_two_scans(
+            "d", SingleScanVerdict.PRIMARY_UP, SingleScanVerdict.ALL_DOWN
+        )
+        assert verdict.domain_class is DomainClass.MULTI_MX_NO_NOLISTING
+
+    def test_one_mx(self):
+        verdict = classify_two_scans(
+            "d", SingleScanVerdict.ONE_MX, SingleScanVerdict.ONE_MX
+        )
+        assert verdict.domain_class is DomainClass.ONE_MX
+
+    def test_misconfigured(self):
+        verdict = classify_two_scans(
+            "d", SingleScanVerdict.MISCONFIGURED, SingleScanVerdict.MISCONFIGURED
+        )
+        assert verdict.domain_class is DomainClass.DNS_MISCONFIGURED
+
+
+class TestScannersEndToEnd:
+    @pytest.fixture(scope="class")
+    def world(self):
+        config = PopulationConfig(
+            num_domains=1500, transient_outage_rate=0.01
+        )
+        internet = SyntheticInternet(config, seed=11)
+        rng = RandomStream(11, "scan-test")
+        dns_scanner = DNSScanner(internet, glue_elision_rate=0.2, rng=rng)
+        dns_a = dns_scanner.scan(0)
+        dns_b = dns_scanner.scan(1)
+        dns_scanner.parallel_resolve(dns_a)
+        dns_scanner.parallel_resolve(dns_b)
+        smtp_scanner = SMTPScanner(internet)
+        smtp_a = smtp_scanner.scan(0)
+        smtp_b = smtp_scanner.scan(1)
+        return internet, dns_a, dns_b, smtp_a, smtp_b
+
+    def test_dns_scan_covers_population(self, world):
+        internet, dns_a, *_ = world
+        assert dns_a.num_domains == internet.num_domains
+
+    def test_glue_elision_produces_unresolved_records(self):
+        internet = SyntheticInternet(
+            PopulationConfig(num_domains=300), seed=11
+        )
+        scanner = DNSScanner(
+            internet, glue_elision_rate=0.5, rng=RandomStream(1)
+        )
+        dataset = scanner.scan(0)
+        assert dataset.num_unresolved_mx > 0
+
+    def test_parallel_resolve_repairs_elided_glue(self, world):
+        _, dns_a, dns_b, *_ = world
+        # After repair, the only unresolved MX records are genuine danglers.
+        for dataset in (dns_a, dns_b):
+            for obs in dataset:
+                for record in obs.mx:
+                    if not record.resolved:
+                        assert record.exchange.startswith("ghost.")
+
+    def test_smtp_scan_counts(self, world):
+        internet, _, _, smtp_a, _ = world
+        assert smtp_a.probed == len(internet.all_mail_addresses())
+        assert 0 < smtp_a.num_listening <= smtp_a.probed
+
+    def test_detector_recovers_ground_truth(self, world):
+        internet, dns_a, dns_b, smtp_a, smtp_b = world
+        detector = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b)
+        truth = {t.name: t.category for t in internet.domains}
+        expected_class = {
+            DomainCategory.SINGLE_MX: DomainClass.ONE_MX,
+            DomainCategory.MULTI_MX: DomainClass.MULTI_MX_NO_NOLISTING,
+            DomainCategory.NOLISTING: DomainClass.NOLISTING,
+            DomainCategory.MISCONFIGURED: DomainClass.DNS_MISCONFIGURED,
+        }
+        for verdict in detector.classify_all():
+            assert verdict.domain_class is expected_class[truth[verdict.domain]]
+
+    def test_summary_counts_sum_to_total(self, world):
+        _, dns_a, dns_b, smtp_a, smtp_b = world
+        summary = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b).summarize()
+        assert sum(summary.counts.values()) == summary.total_domains
+        assert abs(sum(summary.percentages().values()) - 100.0) < 1e-9
+
+
+class TestScanPair:
+    def test_requires_distinct_scans(self):
+        dns = DNSScanDataset(scan_index=0)
+        smtp = SMTPScanDataset(scan_index=0)
+        with pytest.raises(ValueError):
+            ScanPair(dns=(dns, DNSScanDataset(scan_index=0)), smtp=(smtp, smtp))

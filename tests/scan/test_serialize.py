@@ -1,0 +1,101 @@
+"""Unit tests for scan-dataset serialization."""
+
+import pytest
+
+from repro.core.adoption import run_adoption_experiment
+from repro.scan.detect import NolistingDetector
+from repro.scan.population import PopulationConfig, SyntheticInternet
+from repro.scan.scanner import DNSScanner, SMTPScanner
+from repro.scan.serialize import (
+    ScanFormatError,
+    dump_dns_scan,
+    dump_smtp_scan,
+    load_dns_scan,
+    load_smtp_scan,
+)
+from repro.sim.rng import RandomStream
+
+
+@pytest.fixture(scope="module")
+def captures():
+    internet = SyntheticInternet(PopulationConfig(num_domains=400), seed=19)
+    scanner = DNSScanner(
+        internet, glue_elision_rate=0.2, rng=RandomStream(19, "ser")
+    )
+    dns = scanner.scan(1)
+    smtp = SMTPScanner(internet).scan(1)
+    return internet, dns, smtp
+
+
+class TestDNSScanRoundtrip:
+    def test_roundtrip_preserves_observations(self, captures):
+        _, dns, _ = captures
+        restored = load_dns_scan(dump_dns_scan(dns))
+        assert restored.scan_index == dns.scan_index
+        assert restored.num_domains == dns.num_domains
+        assert restored.num_unresolved_mx == dns.num_unresolved_mx
+        for domain, observation in dns.observations.items():
+            other = restored.get(domain)
+            assert other is not None
+            assert other.nxdomain == observation.nxdomain
+            assert [
+                (r.preference, r.exchange, r.address) for r in other.sorted_mx()
+            ] == [
+                (r.preference, r.exchange, r.address)
+                for r in observation.sorted_mx()
+            ]
+
+    def test_header_required(self):
+        with pytest.raises(ScanFormatError):
+            load_dns_scan("garbage")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ScanFormatError):
+            load_dns_scan(f"# repro-dns-scan v1\nonlyonefield\n")
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ScanFormatError):
+            load_dns_scan("# repro-dns-scan v1\nd.example weird\n")
+
+    def test_empty_dataset(self):
+        from repro.scan.datasets import DNSScanDataset
+
+        restored = load_dns_scan(dump_dns_scan(DNSScanDataset(scan_index=3)))
+        assert restored.num_domains == 0
+        assert restored.scan_index == 3
+
+
+class TestSMTPScanRoundtrip:
+    def test_roundtrip(self, captures):
+        _, _, smtp = captures
+        restored = load_smtp_scan(dump_smtp_scan(smtp))
+        assert restored.scan_index == smtp.scan_index
+        assert restored.probed == smtp.probed
+        assert restored.listening == smtp.listening
+
+    def test_header_required(self):
+        with pytest.raises(ScanFormatError):
+            load_smtp_scan("nope")
+
+
+class TestOfflinePipeline:
+    def test_detection_from_serialized_files(self):
+        # The full two-scan pipeline run purely from dumped captures must
+        # agree with the live pipeline.
+        internet = SyntheticInternet(
+            PopulationConfig(num_domains=600), seed=23
+        )
+        scanner = DNSScanner(internet, glue_elision_rate=0.0, rng=None)
+        smtp_scanner = SMTPScanner(internet)
+        dns_a, dns_b = scanner.scan(0), scanner.scan(1)
+        smtp_a, smtp_b = smtp_scanner.scan(0), smtp_scanner.scan(1)
+
+        live = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b).summarize()
+        offline = NolistingDetector(
+            load_dns_scan(dump_dns_scan(dns_a)),
+            load_smtp_scan(dump_smtp_scan(smtp_a)),
+            load_dns_scan(dump_dns_scan(dns_b)),
+            load_smtp_scan(dump_smtp_scan(smtp_b)),
+        ).summarize()
+        assert offline.counts == live.counts
+        assert offline.total_domains == live.total_domains

@@ -1,0 +1,76 @@
+"""Unit tests for the virtual clock and duration formatting."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockError, format_duration, parse_duration
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=12.5).now == 12.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            Clock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = Clock(start=5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(start=5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.9)
+
+    def test_advance_by(self):
+        clock = Clock()
+        clock.advance_by(3.0)
+        clock.advance_by(0.0)
+        assert clock.now == 3.0
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            Clock().advance_by(-0.1)
+
+    def test_repr_contains_time(self):
+        assert "7.000" in repr(Clock(start=7.0))
+
+
+class TestDurationFormat:
+    def test_format_simple(self):
+        assert format_duration(362) == "6:02"
+
+    def test_format_zero(self):
+        assert format_duration(0) == "0:00"
+
+    def test_format_large(self):
+        # Table III's largest stamp: 434:46.
+        assert format_duration(26086) == "434:46"
+
+    def test_format_rounds(self):
+        assert format_duration(59.6) == "1:00"
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+    def test_parse_roundtrip(self):
+        for seconds in (0, 61, 362, 21731, 26086):
+            assert parse_duration(format_duration(seconds)) == float(seconds)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_duration("six minutes")
+        with pytest.raises(ValueError):
+            parse_duration("5:99")
+        with pytest.raises(ValueError):
+            parse_duration("1:2:3")

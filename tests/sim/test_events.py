@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventScheduler, SchedulerError
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler(Clock())
+
+
+class TestScheduling:
+    def test_schedule_at_and_run(self, sched):
+        fired = []
+        sched.schedule_at(5.0, lambda: fired.append(sched.now))
+        sched.run()
+        assert fired == [5.0]
+
+    def test_schedule_in_relative(self, sched):
+        sched.clock.advance_to(10.0)
+        fired = []
+        sched.schedule_in(2.5, lambda: fired.append(sched.now))
+        sched.run()
+        assert fired == [12.5]
+
+    def test_schedule_in_past_rejected(self, sched):
+        sched.clock.advance_to(10.0)
+        with pytest.raises(SchedulerError):
+            sched.schedule_at(9.0, lambda: None)
+        with pytest.raises(SchedulerError):
+            sched.schedule_in(-1.0, lambda: None)
+
+    def test_events_fire_in_time_order(self, sched):
+        fired = []
+        sched.schedule_at(3.0, lambda: fired.append("c"))
+        sched.schedule_at(1.0, lambda: fired.append("a"))
+        sched.schedule_at(2.0, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self, sched):
+        fired = []
+        for name in "abcde":
+            sched.schedule_at(1.0, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == list("abcde")
+
+    def test_callback_can_reschedule(self, sched):
+        fired = []
+
+        def tick():
+            fired.append(sched.now)
+            if len(fired) < 3:
+                sched.schedule_in(1.0, tick)
+
+        sched.schedule_at(0.0, tick)
+        sched.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancel_pending(self, sched):
+        fired = []
+        handle = sched.schedule_at(1.0, lambda: fired.append("x"))
+        assert sched.cancel(handle) is True
+        sched.run()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self, sched):
+        handle = sched.schedule_at(1.0, lambda: None)
+        assert sched.cancel(handle) is True
+        assert sched.cancel(handle) is False
+
+    def test_cancel_after_fire_returns_false(self, sched):
+        handle = sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        assert sched.cancel(handle) is False
+
+    def test_pending_excludes_cancelled(self, sched):
+        handle = sched.schedule_at(1.0, lambda: None)
+        sched.schedule_at(2.0, lambda: None)
+        sched.cancel(handle)
+        assert sched.pending == 1
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_later_events(self, sched):
+        fired = []
+        sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.schedule_at(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.clock.now == 5.0  # advanced to the horizon
+        sched.run()
+        assert fired == [1, 10]
+
+    def test_run_until_includes_boundary(self, sched):
+        fired = []
+        sched.schedule_at(5.0, lambda: fired.append(5))
+        sched.run(until=5.0)
+        assert fired == [5]
+
+    def test_max_events_bounds_runaway(self, sched):
+        def loop():
+            sched.schedule_in(1.0, loop)
+
+        sched.schedule_at(0.0, loop)
+        processed = sched.run(max_events=25)
+        assert processed == 25
+
+    def test_step_returns_false_when_empty(self, sched):
+        assert sched.step() is False
+
+    def test_events_processed_counter(self, sched):
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule_at(t, lambda: None)
+        sched.run()
+        assert sched.events_processed == 3
+
+    def test_next_event_time(self, sched):
+        assert sched.next_event_time() is None
+        sched.schedule_at(4.0, lambda: None)
+        assert sched.next_event_time() == 4.0
+
+    def test_not_reentrant(self, sched):
+        def nested():
+            sched.run()
+
+        sched.schedule_at(1.0, nested)
+        with pytest.raises(SchedulerError):
+            sched.run()

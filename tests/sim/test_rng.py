@@ -1,0 +1,103 @@
+"""Unit tests for the splittable random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStream, spread
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(7)
+        b = RandomStream(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(7)
+        b = RandomStream(8)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_split_is_stable(self):
+        a = RandomStream(7).split("bots")
+        b = RandomStream(7).split("bots")
+        assert a.random() == b.random()
+
+    def test_split_labels_independent(self):
+        root = RandomStream(7)
+        a = root.split("alpha")
+        b = root.split("beta")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_split_does_not_consume_parent(self):
+        root = RandomStream(7)
+        before = RandomStream(7)
+        root.split("child")
+        assert root.random() == before.random()
+
+    def test_nested_split_paths(self):
+        a = RandomStream(7).split("x").split("y")
+        b = RandomStream(7).split("x").split("y")
+        assert a.random() == b.random()
+        assert "x/y" in a.label
+
+
+class TestDraws:
+    def test_uniform_bounds(self):
+        rng = RandomStream(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_choice_and_sample(self):
+        rng = RandomStream(2)
+        population = ["a", "b", "c", "d"]
+        assert rng.choice(population) in population
+        sampled = rng.sample(population, 2)
+        assert len(sampled) == 2 and len(set(sampled)) == 2
+
+    def test_shuffle_is_permutation(self):
+        rng = RandomStream(3)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_weighted_index_respects_zero_weights(self):
+        rng = RandomStream(4)
+        for _ in range(50):
+            assert rng.weighted_index([0.0, 1.0, 0.0]) == 1
+
+    def test_weighted_index_distribution(self):
+        rng = RandomStream(5)
+        draws = [rng.weighted_index([1.0, 9.0]) for _ in range(2000)]
+        fraction_heavy = draws.count(1) / len(draws)
+        assert 0.85 < fraction_heavy < 0.95
+
+    def test_weighted_index_rejects_bad_weights(self):
+        rng = RandomStream(6)
+        with pytest.raises(ValueError):
+            rng.weighted_index([0.0, 0.0])
+        with pytest.raises(ValueError):
+            rng.weighted_index([1.0, -1.0])
+
+    def test_zipf_rank_bounds(self):
+        rng = RandomStream(7)
+        ranks = [rng.zipf_rank(100) for _ in range(200)]
+        assert all(1 <= r <= 100 for r in ranks)
+        # Zipf: rank 1 should be the most common.
+        assert ranks.count(1) >= ranks.count(50)
+
+    def test_zipf_rank_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomStream(8).zipf_rank(0)
+
+
+class TestSpread:
+    def test_spread_builds_labelled_streams(self):
+        streams = spread(9, ["dns", "smtp", "bots"])
+        assert set(streams) == {"dns", "smtp", "bots"}
+        assert streams["dns"].random() != streams["smtp"].random()
+
+    def test_spread_deterministic(self):
+        a = spread(9, ["x"])["x"]
+        b = spread(9, ["x"])["x"]
+        assert a.random() == b.random()

@@ -1,0 +1,89 @@
+"""Unit tests for the CompositePolicy combinator."""
+
+import pytest
+
+from repro.greylist.policy import GreylistPolicy
+from repro.net.address import IPv4Address
+from repro.sim.clock import Clock
+from repro.smtp.replies import Reply
+from repro.smtp.server import (
+    CompositePolicy,
+    ConnectionPolicy,
+    PolicyDecision,
+)
+
+CLIENT = IPv4Address.parse("198.51.100.7")
+
+
+class Tagging(ConnectionPolicy):
+    """Accepts everything but records which hooks ran."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_connect(self, client):
+        self.calls.append("connect")
+        return PolicyDecision.ok()
+
+    def on_rcpt_to(self, client, sender, recipient):
+        self.calls.append("rcpt")
+        return PolicyDecision.ok()
+
+
+class Rejecting(ConnectionPolicy):
+    def __init__(self, code=554):
+        self.code = code
+        self.rcpt_calls = 0
+
+    def on_rcpt_to(self, client, sender, recipient):
+        self.rcpt_calls += 1
+        return PolicyDecision.reject(Reply(self.code, "no"))
+
+
+class TestCompositePolicy:
+    def test_requires_policies(self):
+        with pytest.raises(ValueError):
+            CompositePolicy([])
+
+    def test_all_accept(self):
+        a, b = Tagging(), Tagging()
+        composite = CompositePolicy([a, b])
+        assert composite.on_rcpt_to(CLIENT, "s@x.example", "r@y.example").accept
+        assert a.calls == ["rcpt"] and b.calls == ["rcpt"]
+
+    def test_first_rejection_wins_and_short_circuits(self):
+        first = Rejecting(code=554)
+        second = Rejecting(code=450)
+        composite = CompositePolicy([first, second])
+        decision = composite.on_rcpt_to(CLIENT, "s@x.example", "r@y.example")
+        assert not decision.accept
+        assert decision.reply.code == 554
+        assert first.rcpt_calls == 1
+        assert second.rcpt_calls == 0  # never consulted
+
+    def test_dnsbl_before_greylist_spares_the_triplet_db(self):
+        clock = Clock()
+        greylist = GreylistPolicy(clock=clock, delay=300)
+        composite = CompositePolicy([Rejecting(), greylist])
+        composite.on_rcpt_to(CLIENT, "s@x.example", "r@y.example")
+        # The rejection upstream means greylisting never saw the attempt.
+        assert greylist.store.size == 0
+
+    def test_greylist_inside_composite_still_works(self):
+        clock = Clock()
+        greylist = GreylistPolicy(clock=clock, delay=300)
+        composite = CompositePolicy([Tagging(), greylist])
+        assert not composite.on_rcpt_to(CLIENT, "s@x.example", "r@y.example").accept
+        clock.advance_by(301)
+        assert composite.on_rcpt_to(CLIENT, "s@x.example", "r@y.example").accept
+
+    def test_connect_hook_chains(self):
+        a = Tagging()
+        composite = CompositePolicy([a])
+        assert composite.on_connect(CLIENT).accept
+        assert "connect" in a.calls
+
+    def test_default_hooks_accept(self):
+        composite = CompositePolicy([ConnectionPolicy()])
+        assert composite.on_helo(CLIENT, "x").accept
+        assert composite.on_mail_from(CLIENT, "s@x.example").accept

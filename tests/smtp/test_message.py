@@ -1,0 +1,78 @@
+"""Unit tests for messages, envelopes and address validation."""
+
+import pytest
+
+from repro.smtp.message import (
+    AddressSyntaxError,
+    Envelope,
+    Message,
+    domain_of,
+    envelopes_for,
+    validate_address,
+)
+
+
+class TestValidateAddress:
+    def test_canonicalizes_domain_case(self):
+        assert validate_address("Bob@Foo.NET") == "Bob@foo.net"
+
+    def test_preserves_local_part_case(self):
+        # Local parts are case-sensitive per RFC 5321.
+        assert validate_address("MixedCase@foo.net").startswith("MixedCase@")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nodomain", "two@@foo.net", "@foo.net", "x@", "x@nodot", "a b@foo.net"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressSyntaxError):
+            validate_address(bad)
+
+    def test_domain_of(self):
+        assert domain_of("bob@foo.net") == "foo.net"
+
+
+class TestMessage:
+    def test_basic_construction(self):
+        message = Message(sender="a@x.net", recipients=["b@y.net"])
+        assert message.sender == "a@x.net"
+        assert message.recipients == ["b@y.net"]
+        assert message.size > 0
+
+    def test_recipient_required(self):
+        with pytest.raises(AddressSyntaxError):
+            Message(sender="a@x.net", recipients=[])
+
+    def test_message_ids_unique(self):
+        a = Message(sender="a@x.net", recipients=["b@y.net"])
+        b = Message(sender="a@x.net", recipients=["b@y.net"])
+        assert a.message_id != b.message_id
+
+    def test_invalid_recipient_rejected(self):
+        with pytest.raises(AddressSyntaxError):
+            Message(sender="a@x.net", recipients=["nope"])
+
+    def test_campaign_tagging(self):
+        message = Message(
+            sender="a@x.net", recipients=["b@y.net"], campaign_id="c-1"
+        )
+        assert message.campaign_id == "c-1"
+
+
+class TestEnvelopes:
+    def test_envelopes_split_per_recipient(self):
+        message = Message(
+            sender="a@x.net",
+            recipients=["b@y.net", "c@z.net"],
+            campaign_id="c-9",
+        )
+        envelopes = envelopes_for(message)
+        assert len(envelopes) == 2
+        assert {e.recipient for e in envelopes} == {"b@y.net", "c@z.net"}
+        assert all(e.message_id == message.message_id for e in envelopes)
+        assert all(e.campaign_id == "c-9" for e in envelopes)
+
+    def test_envelope_domains(self):
+        envelope = Envelope(sender="a@x.net", recipient="b@y.net", message_id=1)
+        assert envelope.sender_domain == "x.net"
+        assert envelope.recipient_domain == "y.net"

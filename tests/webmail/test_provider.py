@@ -1,0 +1,160 @@
+"""Unit tests for the webmail provider schedule/pool model."""
+
+import pytest
+
+from repro.webmail.provider import ProviderSpec
+from repro.webmail.providers import (
+    AOL,
+    GMAIL,
+    HOTMAIL,
+    MAILRU,
+    PROVIDER_BY_NAME,
+    PROVIDERS,
+    QQ,
+    YANDEX,
+)
+
+
+class TestProviderSpecValidation:
+    def test_rejects_unsorted_ages(self):
+        with pytest.raises(ValueError):
+            ProviderSpec(name="x", retry_ages=[300, 200])
+
+    def test_rejects_nonpositive_ages(self):
+        with pytest.raises(ValueError):
+            ProviderSpec(name="x", retry_ages=[0, 200])
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            ProviderSpec(name="x", retry_ages=[100], ip_pool_size=0)
+
+    def test_rejects_out_of_range_sequence(self):
+        with pytest.raises(ValueError):
+            ProviderSpec(
+                name="x", retry_ages=[100], ip_pool_size=2, ip_sequence=[0, 2]
+            )
+
+    def test_rejects_bad_continuation(self):
+        with pytest.raises(ValueError):
+            ProviderSpec(name="x", retry_ages=[100], continuation_interval=0)
+
+
+class TestAttemptAges:
+    def test_first_attempt_at_zero(self):
+        spec = ProviderSpec(name="x", retry_ages=[100, 300])
+        assert spec.attempt_age(1) == 0.0
+
+    def test_explicit_ages(self):
+        spec = ProviderSpec(name="x", retry_ages=[100, 300])
+        assert spec.attempt_age(2) == 100.0
+        assert spec.attempt_age(3) == 300.0
+
+    def test_gives_up_without_continuation(self):
+        spec = ProviderSpec(
+            name="x", retry_ages=[100], continuation_interval=None,
+            max_attempts=2,
+        )
+        assert spec.attempt_age(3) is None
+        assert spec.gives_up
+
+    def test_continuation_extends_schedule(self):
+        spec = ProviderSpec(
+            name="x", retry_ages=[100], continuation_interval=50
+        )
+        assert spec.attempt_age(3) == 150.0
+        assert spec.attempt_age(5) == 250.0
+        assert not spec.gives_up
+
+    def test_max_attempts_cap(self):
+        spec = ProviderSpec(
+            name="x",
+            retry_ages=[100],
+            continuation_interval=50,
+            max_attempts=3,
+        )
+        assert spec.attempt_age(3) is not None
+        assert spec.attempt_age(4) is None
+
+    def test_out_of_range_attempt_numbers(self):
+        spec = ProviderSpec(name="x", retry_ages=[100])
+        assert spec.attempt_age(0) is None
+
+
+class TestPoolRotation:
+    def test_default_round_robin(self):
+        spec = ProviderSpec(name="x", retry_ages=[1, 2, 3], ip_pool_size=2)
+        assert [spec.pool_index(n) for n in (1, 2, 3, 4)] == [0, 1, 0, 1]
+
+    def test_single_ip(self):
+        spec = ProviderSpec(name="x", retry_ages=[1])
+        assert spec.uses_single_ip
+        assert spec.pool_index(5) == 0
+
+    def test_explicit_sequence(self):
+        spec = ProviderSpec(
+            name="x",
+            retry_ages=[1, 2],
+            ip_pool_size=3,
+            ip_sequence=[0, 2, 1],
+        )
+        assert [spec.pool_index(n) for n in (1, 2, 3)] == [0, 2, 1]
+        # Beyond the sequence: sticks to the last entry.
+        assert spec.pool_index(4) == 1
+
+
+class TestTable3Providers:
+    def test_ten_providers(self):
+        assert len(PROVIDERS) == 10
+        assert set(PROVIDER_BY_NAME) == {p.name for p in PROVIDERS}
+
+    def test_same_ip_column(self):
+        # Five of ten providers use multiple addresses (paper §V.B).
+        multi = [p for p in PROVIDERS if not p.uses_single_ip]
+        assert len(multi) == 5
+        assert {p.name for p in multi} == {
+            "gmail.com",
+            "qq.com",
+            "mail.ru",
+            "mail.com",
+            "gmx.com",
+        }
+
+    def test_pool_sizes_match_parentheses(self):
+        assert GMAIL.ip_pool_size == 7
+        assert MAILRU.ip_pool_size == 7
+        assert QQ.ip_pool_size == 2
+        assert PROVIDER_BY_NAME["gmx.com"].ip_pool_size == 3
+
+    def test_gmail_explicit_ages(self):
+        assert GMAIL.attempt_age(2) == 362.0      # 6:02
+        assert GMAIL.attempt_age(9) == 26086.0    # 434:46
+
+    def test_aol_gives_up_after_five(self):
+        assert AOL.gives_up
+        assert AOL.attempt_age(5) == 1892.0       # 31:32
+        assert AOL.attempt_age(6) is None
+
+    def test_qq_gives_up_after_twelve(self):
+        assert QQ.gives_up
+        assert QQ.attempt_age(12) == 12296.0      # 204:56
+        assert QQ.attempt_age(13) is None
+
+    def test_hotmail_cadence_reaches_6h_at_attempt_94(self):
+        age = HOTMAIL.attempt_age(94)
+        assert age == pytest.approx(21731.0, abs=1.0)  # 362:11
+        assert HOTMAIL.attempt_age(93) < 21600.0
+
+    def test_yandex_cadence_reaches_6h_at_attempt_28(self):
+        age = YANDEX.attempt_age(28)
+        assert age == pytest.approx(22161.0, abs=0.5)  # 369:21
+        assert YANDEX.attempt_age(27) < 21600.0
+
+    def test_mailru_final_attempt_reuses_first_ip(self):
+        assert MAILRU.pool_index(13) == 0
+        assert MAILRU.pool_index(1) == 0
+
+    def test_all_schedules_strictly_increasing(self):
+        for spec in PROVIDERS:
+            ages = [spec.attempt_age(n) for n in range(1, 15)]
+            ages = [a for a in ages if a is not None]
+            assert all(b > a for a, b in zip(ages, ages[1:])), spec.name
