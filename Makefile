@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench scorecard examples all clean
+.PHONY: install test bench bench-json scorecard examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ bench:
 # Benches with the reproduced tables/figures printed.
 bench-show:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Machine-readable benchmark snapshot (for tracking perf across commits).
+BENCH_DATE := $(shell date +%Y%m%d)
+bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_$(BENCH_DATE).json
 
 scorecard:
 	$(PYTHON) -m repro scorecard

@@ -16,7 +16,9 @@ The package is layered bottom-up:
 * :mod:`repro.maillog` — anonymized greylist logs + university deployment;
 * :mod:`repro.analysis` — CDFs, statistics, table rendering;
 * :mod:`repro.core` — the paper's experiments, one callable per
-  table/figure.
+  table/figure;
+* :mod:`repro.runner` — parallel sharded experiment runner (process pool,
+  deterministic merge, on-disk result cache).
 
 Quick start::
 
@@ -25,7 +27,12 @@ Quick start::
     print(table2_text(matrix))
 """
 
-from . import (  # noqa: F401 — re-exported subpackages
+# Defined before the subpackage imports so modules (e.g. the runner's
+# result cache, which keys entries on the package version) can read it
+# while the package is still initializing.
+__version__ = "1.1.0"
+
+from . import (  # noqa: F401,E402 — re-exported subpackages
     analysis,
     blacklist,
     botnet,
@@ -36,13 +43,12 @@ from . import (  # noqa: F401 — re-exported subpackages
     maillog,
     mta,
     net,
+    runner,
     scan,
     sim,
     smtp,
     webmail,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "analysis",
@@ -55,6 +61,7 @@ __all__ = [
     "maillog",
     "mta",
     "net",
+    "runner",
     "scan",
     "sim",
     "smtp",

@@ -14,12 +14,29 @@ from typing import List, Optional
 from .analysis.tables import format_percent, format_seconds, render_table
 
 
+def _workers_arg(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 0, got {count}"
+        )
+    return count
+
+
 def _cmd_adoption(args: argparse.Namespace) -> int:
     from .core.adoption import run_adoption_experiment
     from .core.reports import figure2_text
 
+    cache = None
+    if args.cache:
+        from .runner.cache import ResultCache
+
+        cache = ResultCache()
     result = run_adoption_experiment(
-        num_domains=args.domains, seed=args.seed
+        num_domains=args.domains,
+        seed=args.seed,
+        workers=args.workers,
+        cache=cache,
     )
     print(figure2_text(result))
     return 0
@@ -225,8 +242,14 @@ def _cmd_filter(args: argparse.Namespace) -> int:
 def _cmd_scorecard(args: argparse.Namespace) -> int:
     from .core.scorecard import build_scorecard, scorecard_text
 
-    print(scorecard_text(seed=args.seed, scale=args.scale))
-    rows = build_scorecard(seed=args.seed, scale=args.scale)
+    print(
+        scorecard_text(
+            seed=args.seed, scale=args.scale, workers=args.workers
+        )
+    )
+    rows = build_scorecard(
+        seed=args.seed, scale=args.scale, workers=args.workers
+    )
     return 0 if all(row.holds for row in rows) else 1
 
 
@@ -239,6 +262,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help=(
+            "worker processes for sharded experiments (0 = one per CPU); "
+            "results are identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "memoize completed experiment shards on disk "
+            "($REPRO_CACHE_DIR or ~/.cache/repro-greylisting)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("adoption", help="Figure 2: nolisting adoption scan")

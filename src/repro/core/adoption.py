@@ -4,31 +4,38 @@ Generates a synthetic internet with the Figure 2 ground-truth mix, runs the
 two-months-apart DNS + SMTP scan pair over it, pushes the captures through
 the three-step detection pipeline, and cross-checks popular-domain adoption
 — end-to-end, exactly the dataflow of the paper's measurement.
+
+The measurement is sharded: the domain space is split into fixed-size
+chunks (see :class:`~repro.scan.population.PopulationPlan`), each chunk is
+generated, scanned and classified independently — by this process when
+``workers=1``, by a process pool otherwise — and the per-chunk tallies are
+merged in chunk order.  Because every per-domain random draw depends only
+on ``(seed, chunk)``, the merged result is bit-for-bit identical whatever
+the worker count.  Passing a :class:`~repro.runner.cache.ResultCache`
+memoizes completed chunks on disk, so repeated runs (sweeps, sensitivity
+harnesses) skip everything already measured.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..runner.cache import ResultCache
+from ..runner.pool import run_tasks
 from ..scan.alexa import (
     PAPER_NOLISTING_RANKS,
     PopularityCrossCheck,
-    crosscheck_popularity,
-    plant_popular_nolisting,
+    crosscheck_from_ranks,
+    plant_ranks,
 )
-from ..scan.detect import (
-    AdoptionSummary,
-    DomainClass,
-    NolistingDetector,
-)
+from ..scan.detect import AdoptionSummary, DomainClass
 from ..scan.population import (
     DomainCategory,
     PopulationConfig,
-    SyntheticInternet,
+    PopulationPlan,
+    population_params,
 )
-from ..scan.scanner import DNSScanner, SMTPScanner
-from ..sim.rng import RandomStream
 
 
 @dataclass
@@ -62,54 +69,87 @@ def run_adoption_experiment(
     transient_outage_rate: float = 0.004,
     plant_popular: bool = True,
     config: Optional[PopulationConfig] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> AdoptionExperimentResult:
-    """Run the full adoption measurement end to end."""
+    """Run the full adoption measurement end to end.
+
+    ``workers`` fans the population's chunks over that many processes
+    (``0`` means one per CPU); results are identical for any value.
+    ``cache`` memoizes completed chunks on disk.
+    """
     if config is None:
         config = PopulationConfig(
             num_domains=num_domains,
             transient_outage_rate=transient_outage_rate,
         )
-    internet = SyntheticInternet(config, seed=seed)
+    plan = PopulationPlan(config, seed)
     if plant_popular:
         needed = len(PAPER_NOLISTING_RANKS)
-        if len(internet.domains_in(DomainCategory.NOLISTING)) >= needed:
-            plant_popular_nolisting(internet)
+        if len(plan.domains_in(DomainCategory.NOLISTING)) >= needed:
+            plant_ranks(plan.domains)
 
-    rng = RandomStream(seed, "adoption-scan")
-    dns_scanner = DNSScanner(
-        internet, glue_elision_rate=glue_elision_rate, rng=rng
+    from ..runner.shards import adoption_shard_task
+
+    params = population_params(config)
+    payloads = [
+        {
+            "population": params,
+            "seed": seed,
+            "glue_elision_rate": glue_elision_rate,
+            "chunk": chunk,
+        }
+        for chunk in range(plan.num_chunks)
+    ]
+    shard_results = run_tasks(
+        adoption_shard_task,
+        payloads,
+        workers=workers,
+        cache=cache,
+        experiment="adoption-shard",
     )
-    smtp_scanner = SMTPScanner(internet)
+    return _merge_adoption_shards(plan, shard_results)
 
-    # February 28 and April 25, 2015 — two captures, two months apart.
-    dns_a = dns_scanner.scan(scan_index=0)
-    dns_b = dns_scanner.scan(scan_index=1)
-    repaired = dns_scanner.parallel_resolve(dns_a)
-    repaired += dns_scanner.parallel_resolve(dns_b)
-    smtp_a = smtp_scanner.scan(scan_index=0)
-    smtp_b = smtp_scanner.scan(scan_index=1)
 
-    detector = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b)
-    verdicts = detector.classify_all()
-    summary = detector.summarize()
-    crosscheck = crosscheck_popularity(internet, verdicts)
-
-    truth_by_domain = {t.name: t.category for t in internet.domains}
+def _merge_adoption_shards(
+    plan: PopulationPlan, shard_results: List[Dict]
+) -> AdoptionExperimentResult:
+    """Fold per-chunk tallies into the experiment result, in chunk order."""
+    counts = {c: 0 for c in DomainClass}
+    total = flapped = servers = addresses = repaired = 0
     confusion = {"correct": 0, "wrong": 0}
-    for verdict in verdicts:
-        truth = truth_by_domain.get(verdict.domain)
-        if truth is None:
-            continue
-        expected = _TRUTH_TO_CLASS[truth]
-        if verdict.domain_class is expected:
-            confusion["correct"] += 1
-        else:
-            confusion["wrong"] += 1
+    nolisting_domains: List[str] = []
+    for shard in shard_results:
+        total += shard["total"]
+        flapped += shard["flapped"]
+        servers += shard["servers"]
+        addresses += shard["addresses"]
+        repaired += shard["repaired"]
+        for domain_class in DomainClass:
+            counts[domain_class] += shard["counts"][domain_class.value]
+        confusion["correct"] += shard["confusion"]["correct"]
+        confusion["wrong"] += shard["confusion"]["wrong"]
+        nolisting_domains.extend(shard["nolisting_domains"])
 
+    summary = AdoptionSummary(
+        total_domains=total,
+        counts=counts,
+        flapped=flapped,
+        servers_covered=servers,
+        addresses_covered=addresses,
+    )
+    rank_of = plan.rank_of()
+    crosscheck = crosscheck_from_ranks(
+        [
+            rank_of[name]
+            for name in nolisting_domains
+            if rank_of.get(name)
+        ]
+    )
     return AdoptionExperimentResult(
         summary=summary,
         crosscheck=crosscheck,
-        ground_truth=internet.truth_counts(),
+        ground_truth=plan.truth_counts(),
         repaired_mx_records=repaired,
         confusion=confusion,
     )
@@ -125,6 +165,9 @@ def single_scan_false_positives(
     Quantifies the value of the paper's repeat-two-months-later protocol.
     """
     from ..scan.detect import SingleScanVerdict, classify_single_scan
+    from ..scan.population import SyntheticInternet
+    from ..scan.scanner import DNSScanner, SMTPScanner
+    from ..sim.rng import RandomStream
 
     config = PopulationConfig(
         num_domains=num_domains,

@@ -174,17 +174,38 @@ def run_internet_scale(
 
 
 def sweep_deployment_rates(
-    rates: List[tuple] = None, messages: int = 300, seed: int = 61
+    rates: List[tuple] = None,
+    messages: int = 300,
+    seed: int = 61,
+    workers: int = 1,
+    cache=None,
 ) -> List[InternetScaleResult]:
-    """Block rate as deployment grows — the "what if adoption rose" curve."""
+    """Block rate as deployment grows — the "what if adoption rose" curve.
+
+    Each (greylisting, nolisting) grid point is an independent simulation,
+    so the sweep fans them over ``workers`` processes; ``cache`` memoizes
+    completed points across invocations.
+    """
+    from ..runner.pool import run_tasks
+    from ..runner.shards import internet_scale_task
+
     if rates is None:
         rates = [(0.0, 0.0), (0.2, 0.05), (0.5, 0.1), (0.8, 0.2)]
-    return [
-        run_internet_scale(
-            greylisting_rate=grey,
-            nolisting_rate=nolist,
-            messages=messages,
-            seed=seed,
-        )
+    payloads = [
+        {
+            "num_domains": 60,
+            "greylisting_rate": grey,
+            "nolisting_rate": nolist,
+            "messages": messages,
+            "seed": seed,
+        }
         for (grey, nolist) in rates
     ]
+    rows = run_tasks(
+        internet_scale_task,
+        payloads,
+        workers=workers,
+        cache=cache,
+        experiment="internet-scale",
+    )
+    return [InternetScaleResult(**row) for row in rows]

@@ -13,13 +13,12 @@ reports the spread of the quantities the paper's claims rest on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.bootstrap import ConfidenceInterval, bootstrap_ci, median
-from ..scan.detect import DomainClass
-from .adoption import run_adoption_experiment
+from ..analysis.bootstrap import ConfidenceInterval
+from ..runner.cache import ResultCache
+from ..runner.pool import run_tasks
 from .defense_matrix import build_defense_matrix
-from .deployment import run_deployment_experiment
 from .testbed import Defense
 
 DEFAULT_SEEDS: Sequence[int] = (1, 2, 3, 5, 8)
@@ -40,18 +39,30 @@ class AdoptionSensitivity:
 
 
 def adoption_sensitivity(
-    seeds: Sequence[int] = DEFAULT_SEEDS, num_domains: int = 5000
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    num_domains: int = 5000,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> AdoptionSensitivity:
-    result = AdoptionSensitivity(
-        seeds=list(seeds), nolisting_pct=[], one_mx_pct=[], misclassified=[]
+    """One full adoption experiment per seed, fanned over ``workers``."""
+    from ..runner.shards import adoption_seed_task
+
+    payloads = [
+        {"num_domains": num_domains, "seed": seed} for seed in seeds
+    ]
+    rows = run_tasks(
+        adoption_seed_task,
+        payloads,
+        workers=workers,
+        cache=cache,
+        experiment="adoption-sensitivity",
     )
-    for seed in seeds:
-        run = run_adoption_experiment(num_domains=num_domains, seed=seed)
-        percentages = run.measured_percentages()
-        result.nolisting_pct.append(percentages[DomainClass.NOLISTING])
-        result.one_mx_pct.append(percentages[DomainClass.ONE_MX])
-        result.misclassified.append(run.confusion["wrong"])
-    return result
+    return AdoptionSensitivity(
+        seeds=list(seeds),
+        nolisting_pct=[row["nolisting_pct"] for row in rows],
+        one_mx_pct=[row["one_mx_pct"] for row in rows],
+        misclassified=[row["misclassified"] for row in rows],
+    )
 
 
 @dataclass
@@ -71,19 +82,36 @@ class DeploymentSensitivity:
 def deployment_sensitivity(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     num_messages: int = 800,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> DeploymentSensitivity:
-    result = DeploymentSensitivity(seeds=list(seeds), medians=[])
-    for seed in seeds:
-        run = run_deployment_experiment(
-            num_messages=num_messages, seed=seed
-        )
-        delays = run.delays
-        result.medians.append(median(delays))
-        result.median_cis.append(
-            bootstrap_ci(delays, median, seed=seed, resamples=300)
-        )
-        result.within_10min.append(run.fraction_delivered_within(600.0))
-    return result
+    """One deployment experiment per seed, fanned over ``workers``."""
+    from ..runner.shards import deployment_seed_task
+
+    payloads = [
+        {"num_messages": num_messages, "seed": seed} for seed in seeds
+    ]
+    rows = run_tasks(
+        deployment_seed_task,
+        payloads,
+        workers=workers,
+        cache=cache,
+        experiment="deployment-sensitivity",
+    )
+    return DeploymentSensitivity(
+        seeds=list(seeds),
+        medians=[row["median"] for row in rows],
+        median_cis=[
+            ConfidenceInterval(
+                estimate=row["ci"][0],
+                low=row["ci"][1],
+                high=row["ci"][2],
+                level=row["ci"][3],
+            )
+            for row in rows
+        ],
+        within_10min=[row["within_10min"] for row in rows],
+    )
 
 
 def verdicts_seed_invariant(seeds: Sequence[int] = (3, 11, 23)) -> bool:

@@ -213,6 +213,8 @@ def sweep_greylist_delay(
     reports_per_hour: float = 60.0,
     num_messages: int = 20,
     seed: int = 31,
+    workers: int = 1,
+    cache=None,
 ) -> List[SynergyResult]:
     """Which greylisting threshold buys the blacklist enough time?
 
@@ -220,14 +222,27 @@ def sweep_greylist_delay(
     through before the blacklist catches up; a threshold longer than the
     listing time converts greylisting's useless-alone delay into a win —
     the quantitative version of the paper's §II rebuttal.
+
+    Each delay point is an independent simulation; the sweep fans them
+    over ``workers`` processes and memoizes points in ``cache``.
     """
-    return [
-        run_synergy_experiment(
-            "both",
-            greylist_delay=delay,
-            reports_per_hour=reports_per_hour,
-            num_messages=num_messages,
-            seed=seed,
-        )
+    from ..runner.pool import run_tasks
+    from ..runner.shards import synergy_delay_task
+
+    payloads = [
+        {
+            "greylist_delay": delay,
+            "reports_per_hour": reports_per_hour,
+            "num_messages": num_messages,
+            "seed": seed,
+        }
         for delay in delays
     ]
+    rows = run_tasks(
+        synergy_delay_task,
+        payloads,
+        workers=workers,
+        cache=cache,
+        experiment="synergy-delay",
+    )
+    return [SynergyResult(**row) for row in rows]

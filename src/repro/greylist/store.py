@@ -21,7 +21,7 @@ from .triplet import Triplet
 DAY = 86400.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TripletEntry:
     """State tracked for one triplet."""
 

@@ -18,9 +18,13 @@ from ..net.address import IPv4Address
 from ..smtp.message import validate_address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Triplet:
-    """The greylisting key."""
+    """The greylisting key.
+
+    ``slots`` matters here: every RCPT command allocates one of these and
+    the triplet database keys millions of lookups on them.
+    """
 
     client: IPv4Address
     sender: str

@@ -18,9 +18,13 @@ class AddressError(ValueError):
     """Raised for malformed addresses, networks or exhausted pools."""
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class IPv4Address:
-    """A single IPv4 address backed by its 32-bit integer value."""
+    """A single IPv4 address backed by its 32-bit integer value.
+
+    Scan datasets hold and hash hundreds of thousands of these; ``slots``
+    keeps each instance to a single boxed int.
+    """
 
     value: int
 
@@ -130,6 +134,26 @@ class AddressPool:
         if count < 0:
             raise AddressError("count must be non-negative")
         return [self.allocate() for _ in range(count)]
+
+    def subpool(self, offset: int, capacity: int) -> "AddressPool":
+        """A fresh allocator over ``capacity`` addresses at ``offset``.
+
+        Disjoint subpools let independent workers allocate out of one
+        network without coordinating: worker ``k`` takes
+        ``subpool(k * stride, stride)`` and can never collide with its
+        siblings.  The parent pool's cursor is not affected.
+        """
+        if offset < 0 or capacity < 0:
+            raise AddressError("offset and capacity must be non-negative")
+        start = self.network.base.value + offset
+        if start + capacity > self.network.base.value + self.network.num_addresses:
+            raise AddressError(
+                f"subpool [{offset}, {offset + capacity}) exceeds {self.network}"
+            )
+        pool = AddressPool(self.network)
+        pool._next = start
+        pool._end = start + capacity
+        return pool
 
     @property
     def allocated(self) -> int:

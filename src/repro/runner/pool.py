@@ -1,0 +1,149 @@
+"""Process-pool task execution with deterministic, ordered merge.
+
+The experiments this repository reproduces are embarrassingly parallel at
+two granularities: *across* runs (seed sweeps, parameter grids) and
+*within* the Figure 2 scan (chunks of the domain population).  Both reduce
+to the same shape — a pure, module-level function applied to a list of
+JSON-able payloads — which :func:`run_tasks` executes either inline or on
+a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Two invariants make parallel runs safe to substitute for serial ones:
+
+* **ordered merge** — results always come back in payload order, no matter
+  which worker finished first, so any fold over them is deterministic;
+* **pure tasks** — task functions derive all randomness from the payload
+  (the ``seed:label`` RNG-splitting scheme), so a payload's result is
+  identical in any process.
+
+A :class:`~repro.runner.cache.ResultCache` can be threaded through: cached
+payloads are skipped, fresh results are written back (from the coordinator
+process only — workers never touch the cache, so there are no concurrent
+writers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+
+TaskFn = Callable[[Dict[str, Any]], Any]
+
+_SENTINEL = object()
+
+
+def effective_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count: ``None``/``0`` means one per CPU."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return int(workers)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap start, inherits imports); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_tasks(
+    fn: TaskFn,
+    payloads: Sequence[Dict[str, Any]],
+    *,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    experiment: Optional[str] = None,
+) -> List[Any]:
+    """Apply ``fn`` to every payload; results in payload order.
+
+    Parameters
+    ----------
+    fn:
+        A *module-level* function of one JSON-able dict payload (it must
+        pickle to cross the process boundary).
+    workers:
+        ``1`` runs inline (the serial path — same code, same results);
+        ``N > 1`` fans uncached payloads over N processes; ``0``/``None``
+        uses one worker per CPU.
+    cache, experiment:
+        When both are given, each payload is looked up under
+        ``(experiment, payload)`` first and fresh results are stored back.
+        Cached values must therefore be JSON-able.
+    """
+    payloads = list(payloads)
+    if cache is not None and experiment is None:
+        raise ValueError("caching requires an experiment name")
+    results: List[Any] = [_SENTINEL] * len(payloads)
+
+    pending: List[int] = []
+    if cache is not None:
+        for index, payload in enumerate(payloads):
+            value = cache.get(experiment, payload, default=_SENTINEL)
+            if value is _SENTINEL:
+                pending.append(index)
+            else:
+                results[index] = value
+    else:
+        pending = list(range(len(payloads)))
+
+    count = effective_workers(workers)
+    if pending:
+        if count <= 1 or len(pending) == 1:
+            for index in pending:
+                results[index] = fn(payloads[index])
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(count, len(pending)),
+                mp_context=_pool_context(),
+            ) as executor:
+                futures = {
+                    index: executor.submit(fn, payloads[index])
+                    for index in pending
+                }
+                for index, future in futures.items():
+                    results[index] = future.result()
+        if cache is not None:
+            for index in pending:
+                cache.put(experiment, payloads[index], results[index])
+    return results
+
+
+@dataclass
+class ExperimentRunner:
+    """Reusable workers + cache bundle for a batch of experiment calls.
+
+    The CLI builds one of these from ``--workers`` and hands it to every
+    experiment entry point it invokes::
+
+        runner = ExperimentRunner(workers=4, cache=ResultCache())
+        rows = runner.map(adoption_seed_task, payloads,
+                          experiment="adoption-sensitivity")
+    """
+
+    workers: Optional[int] = 1
+    cache: Optional[ResultCache] = None
+    #: Total payloads dispatched and cache hits observed through this runner.
+    dispatched: int = field(default=0, init=False)
+
+    def map(
+        self,
+        fn: TaskFn,
+        payloads: Sequence[Dict[str, Any]],
+        experiment: Optional[str] = None,
+    ) -> List[Any]:
+        payloads = list(payloads)
+        self.dispatched += len(payloads)
+        return run_tasks(
+            fn,
+            payloads,
+            workers=self.workers,
+            cache=self.cache if experiment is not None else None,
+            experiment=experiment,
+        )

@@ -28,14 +28,29 @@ def plant_popular_nolisting(
     currently hold the target ranks, keeping the rank assignment a
     permutation.  Returns the planted domain names.
     """
-    nolisted = internet.domains_in(DomainCategory.NOLISTING)
+    return plant_ranks(internet.domains, ranks)
+
+
+def plant_ranks(
+    domains: Sequence, ranks: Sequence[int] = PAPER_NOLISTING_RANKS
+) -> List[str]:
+    """Rank-planting over any domain records with name/category/alexa_rank.
+
+    Shared by the full-population path (:class:`DomainTruth` objects) and
+    the parallel runner's coordinator, which plants on the cheap
+    :class:`~repro.scan.population.PlannedDomain` plan *before* sharding —
+    the swap outcome depends only on (order, categories, ranks), so both
+    paths assign identical ranks.
+    """
+    nolisted = [d for d in domains if d.category is DomainCategory.NOLISTING]
     if len(nolisted) < len(ranks):
         raise ValueError(
             f"population has only {len(nolisted)} nolisting domains, "
             f"cannot plant {len(ranks)}"
         )
+    num_domains = len(domains)
     rank_holder: Dict[int, object] = {
-        truth.alexa_rank: truth for truth in internet.domains
+        truth.alexa_rank: truth for truth in domains
     }
 
     # First evict accidental adopters from the popular band: in a population
@@ -44,7 +59,7 @@ def plant_popular_nolisting(
     # domains than the 0.52 % base rate would on 135 M domains.  Swap them
     # out so the popular band holds exactly the planted structure.
     popular_band = max(ranks) + 100
-    swap_rank = internet.num_domains
+    swap_rank = num_domains
     for truth in nolisted:
         if truth.alexa_rank is None or truth.alexa_rank > popular_band:
             continue
@@ -101,9 +116,17 @@ def crosscheck_popularity(
         for v in verdicts
         if v.domain_class is DomainClass.NOLISTING and rank_of.get(v.domain)
     )
+    return crosscheck_from_ranks(adopter_ranks)
+
+
+def crosscheck_from_ranks(
+    adopter_ranks: Sequence[int],
+) -> PopularityCrossCheck:
+    """Bucket already-resolved adopter ranks (the shard-merge path)."""
+    ranked = sorted(adopter_ranks)
     return PopularityCrossCheck(
-        top15=sum(1 for r in adopter_ranks if r <= 15),
-        top500=sum(1 for r in adopter_ranks if r <= 500),
-        top1000=sum(1 for r in adopter_ranks if r <= 1000),
-        ranked_adopters=adopter_ranks,
+        top15=sum(1 for r in ranked if r <= 15),
+        top500=sum(1 for r in ranked if r <= 500),
+        top1000=sum(1 for r in ranked if r <= 1000),
+        ranked_adopters=ranked,
     )

@@ -10,13 +10,22 @@ persistent primary outages indistinguishable from nolisting).
 from a seed and exposes exactly the two views the real study had:
 authoritative DNS (via a :class:`~repro.dns.zone.ZoneStore`) and per-scan
 TCP/25 reachability (via :meth:`is_listening`).
+
+Generation is *chunked*: the domain space is split into fixed-size chunks,
+each built from its own RNG sub-stream (``seed -> "chunk:<k>"``) and its own
+disjoint slice of the address space.  A chunk's content therefore depends
+only on ``(config, seed, chunk index)`` — never on which other chunks were
+generated in the same process — which is what lets the parallel experiment
+runner hand each worker a disjoint slice of the population
+(:meth:`SyntheticInternet.shard`) and still merge results bit-for-bit
+identical to a serial run.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dns.zone import ZoneStore
 from ..net.address import AddressPool, IPv4Address, IPv4Network
@@ -39,6 +48,10 @@ FIGURE2_MIX: Dict[DomainCategory, float] = {
     DomainCategory.MISCONFIGURED: 0.0578,
     DomainCategory.NOLISTING: 0.0052,
 }
+
+#: Upper bound on addresses one domain can consume (multi-MX tops out at a
+#: primary plus three extra exchangers); sizes each chunk's address slice.
+MAX_ADDRESSES_PER_DOMAIN = 4
 
 
 @dataclass
@@ -92,6 +105,10 @@ class PopulationConfig:
     #: rest have no MX records at all).
     dangling_mx_fraction: float = 0.5
     address_space: str = "10.0.0.0/8"
+    #: Domains per generation chunk.  Part of the population's identity: the
+    #: same (seed, chunk_size) yields the same domains whether chunks are
+    #: built in one process or spread over many workers.
+    chunk_size: int = 512
 
     def __post_init__(self) -> None:
         if self.num_domains < 1:
@@ -103,12 +120,162 @@ class PopulationConfig:
                      self.dangling_mx_fraction):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError("rates must lie in [0, 1]")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.num_domains // self.chunk_size)
+
+    @property
+    def chunk_address_stride(self) -> int:
+        """Addresses reserved per chunk (disjoint across chunks)."""
+        return self.chunk_size * MAX_ADDRESSES_PER_DOMAIN
+
+
+def population_params(config: PopulationConfig) -> Dict[str, object]:
+    """Canonical, JSON-able description of a config (cache keys, workers)."""
+    return {
+        "num_domains": config.num_domains,
+        "mix": {c.value: config.mix[c] for c in sorted(config.mix, key=lambda c: c.value)},
+        "transient_outage_rate": config.transient_outage_rate,
+        "persistent_outage_rate": config.persistent_outage_rate,
+        "extra_mx_weights": list(config.extra_mx_weights),
+        "dangling_mx_fraction": config.dangling_mx_fraction,
+        "address_space": config.address_space,
+        "chunk_size": config.chunk_size,
+    }
+
+
+def population_from_params(params: Dict[str, object]) -> PopulationConfig:
+    """Inverse of :func:`population_params`."""
+    return PopulationConfig(
+        num_domains=int(params["num_domains"]),
+        mix={DomainCategory(k): v for k, v in params["mix"].items()},
+        transient_outage_rate=float(params["transient_outage_rate"]),
+        persistent_outage_rate=float(params["persistent_outage_rate"]),
+        extra_mx_weights=tuple(params["extra_mx_weights"]),
+        dangling_mx_fraction=float(params["dangling_mx_fraction"]),
+        address_space=str(params["address_space"]),
+        chunk_size=int(params["chunk_size"]),
+    )
+
+
+@dataclass
+class PlannedDomain:
+    """The cheap part of one domain's ground truth: name, category, rank.
+
+    Everything a coordinator needs to shard, plant popular adopters and
+    merge results — without paying for zones, addresses or outage draws.
+    """
+
+    index: int
+    name: str
+    category: DomainCategory
+    alexa_rank: int
+
+
+class PopulationPlan:
+    """Deterministic per-domain plan shared by every worker.
+
+    Apportions domains to categories (largest-remainder, exact counts),
+    shuffles the category order and the Alexa-style rank permutation — all
+    O(n) in cheap scalar data.  Both the full generator and every shard
+    derive the same plan from ``(config, seed)``, so chunk ``k`` means the
+    same domains everywhere.
+    """
+
+    def __init__(self, config: PopulationConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+        root = RandomStream(seed, "population")
+
+        counts = self._category_counts(config)
+        order: List[DomainCategory] = []
+        # Canonical category order: the plan must not depend on the mix
+        # dict's insertion order, or a worker rebuilding the config from
+        # canonical params would lay out a different population.
+        for category in sorted(counts, key=lambda c: c.value):
+            order.extend([category] * counts[category])
+        root.split("order").shuffle(order)
+
+        ranks = list(range(1, config.num_domains + 1))
+        root.split("ranks").shuffle(ranks)
+
+        self.domains: List[PlannedDomain] = [
+            PlannedDomain(
+                index=index,
+                name=f"dom{index:07d}.example",
+                category=category,
+                alexa_rank=ranks[index],
+            )
+            for index, category in enumerate(order)
+        ]
+
+    @staticmethod
+    def _category_counts(config: PopulationConfig) -> Dict[DomainCategory, int]:
+        """Apportion domains to categories with largest-remainder rounding."""
+        n = config.num_domains
+        raw = {c: n * frac for c, frac in config.mix.items()}
+        counts = {c: int(v) for c, v in raw.items()}
+        shortfall = n - sum(counts.values())
+        by_remainder = sorted(
+            raw, key=lambda c: (counts[c] - raw[c], c.value)
+        )
+        for category in by_remainder[:shortfall]:
+            counts[category] += 1
+        return counts
+
+    @property
+    def num_chunks(self) -> int:
+        return self.config.num_chunks
+
+    def chunk(self, chunk_index: int) -> List[PlannedDomain]:
+        """The planned domains of chunk ``chunk_index``."""
+        if not 0 <= chunk_index < self.num_chunks:
+            raise ValueError(
+                f"chunk {chunk_index} out of range [0, {self.num_chunks})"
+            )
+        size = self.config.chunk_size
+        return self.domains[chunk_index * size: (chunk_index + 1) * size]
+
+    def truth_counts(self) -> Dict[DomainCategory, int]:
+        counts = {c: 0 for c in DomainCategory}
+        for planned in self.domains:
+            counts[planned.category] += 1
+        return counts
+
+    def domains_in(self, category: DomainCategory) -> List[PlannedDomain]:
+        return [d for d in self.domains if d.category is category]
+
+    def rank_of(self) -> Dict[str, int]:
+        """Domain name -> current Alexa rank (reflects any planting)."""
+        return {d.name: d.alexa_rank for d in self.domains}
 
 
 class SyntheticInternet:
-    """A generated population of mail domains with ground truth attached."""
+    """A generated population of mail domains with ground truth attached.
 
-    def __init__(self, config: PopulationConfig, seed: int) -> None:
+    Parameters
+    ----------
+    config, seed:
+        Identity of the population.
+    chunks:
+        Chunk indices to generate; ``None`` builds the full population.
+        Use :meth:`shard` for the explicit worker-side constructor.
+    plan:
+        Pre-computed :class:`PopulationPlan` to reuse (must match
+        ``(config, seed)``); avoids re-planning when the caller already
+        holds one.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        seed: int,
+        chunks: Optional[Sequence[int]] = None,
+        plan: Optional[PopulationPlan] = None,
+    ) -> None:
         self.config = config
         self.seed = seed
         self.zones = ZoneStore()
@@ -116,63 +283,82 @@ class SyntheticInternet:
         self._listening: Dict[IPv4Address, bool] = {}
         #: address -> scan index during which it is spuriously down
         self._down_during_scan: Dict[IPv4Address, int] = {}
-        self._pool = AddressPool(IPv4Network.parse(config.address_space))
-        self._generate(RandomStream(seed, "population"))
+        network = IPv4Network.parse(config.address_space)
+        if config.num_chunks * config.chunk_address_stride > network.num_addresses:
+            raise ValueError(
+                f"address space {config.address_space} too small for "
+                f"{config.num_domains} domains in chunks of {config.chunk_size}"
+            )
+        self._pool = AddressPool(network)
+        self.plan = plan if plan is not None else PopulationPlan(config, seed)
+        if chunks is None:
+            self.chunk_indices: List[int] = list(range(self.plan.num_chunks))
+        else:
+            self.chunk_indices = sorted(set(int(c) for c in chunks))
+        root = RandomStream(seed, "population")
+        for chunk_index in self.chunk_indices:
+            self._generate_chunk(root, chunk_index)
+
+    @classmethod
+    def shard(
+        cls,
+        config: PopulationConfig,
+        seed: int,
+        chunks: Iterable[int],
+    ) -> "SyntheticInternet":
+        """Generate only the given chunks of the population.
+
+        The returned internet holds exactly the domains (and zones,
+        addresses, outage schedules) those chunks hold in the full
+        population — a worker-sized, bit-identical slice.
+        """
+        return cls(config, seed, chunks=list(chunks))
 
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
-    def _category_counts(self) -> Dict[DomainCategory, int]:
-        """Apportion domains to categories with largest-remainder rounding."""
-        n = self.config.num_domains
-        raw = {c: n * frac for c, frac in self.config.mix.items()}
-        counts = {c: int(v) for c, v in raw.items()}
-        shortfall = n - sum(counts.values())
-        by_remainder = sorted(
-            raw, key=lambda c: raw[c] - counts[c], reverse=True
+    def _generate_chunk(self, root: RandomStream, chunk_index: int) -> None:
+        """Build one chunk from its own RNG streams and address slice."""
+        chunk_rng = root.split(f"chunk:{chunk_index}")
+        outage_rng = chunk_rng.split("outages")
+        mx_rng = chunk_rng.split("mx-count")
+        misc_rng = chunk_rng.split("misconfig")
+        pool = self._pool.subpool(
+            chunk_index * self.config.chunk_address_stride,
+            self.config.chunk_address_stride,
         )
-        for category in by_remainder[:shortfall]:
-            counts[category] += 1
-        return counts
 
-    def _generate(self, rng: RandomStream) -> None:
-        counts = self._category_counts()
-        order: List[DomainCategory] = []
-        for category, count in counts.items():
-            order.extend([category] * count)
-        rng.split("order").shuffle(order)
-
-        ranks = list(range(1, self.config.num_domains + 1))
-        rng.split("ranks").shuffle(ranks)
-
-        outage_rng = rng.split("outages")
-        mx_rng = rng.split("mx-count")
-        misc_rng = rng.split("misconfig")
-
-        for index, category in enumerate(order):
-            name = f"dom{index:07d}.example"
+        for planned in self.plan.chunk(chunk_index):
             truth = DomainTruth(
-                name=name, category=category, alexa_rank=ranks[index]
+                name=planned.name,
+                category=planned.category,
+                alexa_rank=planned.alexa_rank,
             )
+            category = planned.category
             if category is DomainCategory.SINGLE_MX:
-                self._build_single(truth)
+                self._build_single(truth, pool)
                 self._maybe_transient(truth, outage_rng)
             elif category is DomainCategory.MULTI_MX:
-                self._build_multi(truth, mx_rng)
+                self._build_multi(truth, pool, mx_rng)
                 if outage_rng.random() < self.config.persistent_outage_rate:
                     self._apply_persistent_outage(truth)
                 else:
                     self._maybe_transient(truth, outage_rng)
             elif category is DomainCategory.NOLISTING:
-                self._build_nolisting(truth)
+                self._build_nolisting(truth, pool)
             else:
-                self._build_misconfigured(truth, misc_rng)
+                self._build_misconfigured(truth, pool, misc_rng)
             self.domains.append(truth)
 
     def _allocate_mx(
-        self, truth: DomainTruth, label: str, preference: int, listening: bool
+        self,
+        truth: DomainTruth,
+        pool: AddressPool,
+        label: str,
+        preference: int,
+        listening: bool,
     ) -> IPv4Address:
-        address = self._pool.allocate()
+        address = pool.allocate()
         hostname = f"{label}.{truth.name}"
         zone = self.zones.get_or_create(truth.name)
         zone.add_a(hostname, address)
@@ -181,21 +367,27 @@ class SyntheticInternet:
         self._listening[address] = listening
         return address
 
-    def _build_single(self, truth: DomainTruth) -> None:
-        self._allocate_mx(truth, "smtp", 10, listening=True)
+    def _build_single(self, truth: DomainTruth, pool: AddressPool) -> None:
+        self._allocate_mx(truth, pool, "smtp", 10, listening=True)
 
-    def _build_multi(self, truth: DomainTruth, rng: RandomStream) -> None:
+    def _build_multi(
+        self, truth: DomainTruth, pool: AddressPool, rng: RandomStream
+    ) -> None:
         extra = rng.weighted_index(list(self.config.extra_mx_weights)) + 1
-        self._allocate_mx(truth, "smtp", 10, listening=True)
+        self._allocate_mx(truth, pool, "smtp", 10, listening=True)
         for i in range(extra):
-            self._allocate_mx(truth, f"smtp{i + 1}", 10 * (i + 2), listening=True)
+            self._allocate_mx(
+                truth, pool, f"smtp{i + 1}", 10 * (i + 2), listening=True
+            )
 
-    def _build_nolisting(self, truth: DomainTruth) -> None:
+    def _build_nolisting(self, truth: DomainTruth, pool: AddressPool) -> None:
         # Primary resolves but refuses port 25; secondary works (Figure 1).
-        self._allocate_mx(truth, "smtp", 0, listening=False)
-        self._allocate_mx(truth, "smtp1", 15, listening=True)
+        self._allocate_mx(truth, pool, "smtp", 0, listening=False)
+        self._allocate_mx(truth, pool, "smtp1", 15, listening=True)
 
-    def _build_misconfigured(self, truth: DomainTruth, rng: RandomStream) -> None:
+    def _build_misconfigured(
+        self, truth: DomainTruth, pool: AddressPool, rng: RandomStream
+    ) -> None:
         zone = self.zones.get_or_create(truth.name)
         if rng.random() < self.config.dangling_mx_fraction:
             # MX points at a hostname with no A record anywhere.
@@ -204,7 +396,7 @@ class SyntheticInternet:
             truth.mx_hosts.append((hostname, 10, None))
         else:
             # Domain exists (has an A record for www) but no MX at all.
-            zone.add_a(f"www.{truth.name}", self._pool.allocate())
+            zone.add_a(f"www.{truth.name}", pool.allocate())
 
     def _maybe_transient(self, truth: DomainTruth, rng: RandomStream) -> None:
         if rng.random() >= self.config.transient_outage_rate:

@@ -53,12 +53,17 @@ class DNSScanner:
         self.rng = rng
 
     def scan(self, scan_index: int) -> DNSScanDataset:
-        """Capture the whole population's DNS state."""
+        """Capture the population's DNS state.
+
+        Glue elision draws come from a per-domain RNG stream
+        (``"elision:<scan>:<domain>"``), so whether a record's glue is
+        elided depends only on (seed, scan, domain) — scanning a shard of
+        the population captures exactly what a full scan would for the
+        same domains, which the parallel runner's merge relies on.
+        """
         resolver = StubResolver(self.internet.zones)
         dataset = DNSScanDataset(scan_index=scan_index)
-        elision_rng = (
-            self.rng.split(f"elision:{scan_index}") if self.rng else None
-        )
+        elide = self.glue_elision_rate > 0 and self.rng is not None
         for truth in self.internet.domains:
             observation = DomainObservation(domain=truth.name)
             try:
@@ -71,6 +76,11 @@ class DNSScanner:
                 observation.servfail = True
                 dataset.add(observation)
                 continue
+            elision_rng = (
+                self.rng.split(f"elision:{scan_index}:{truth.name}")
+                if elide
+                else None
+            )
             for mx in answer.records:
                 address: Optional[IPv4Address] = answer.additional.get(
                     mx.exchange

@@ -26,7 +26,7 @@ class SchedulerError(Exception):
     """Raised on illegal scheduler operations."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventHandle:
     """Opaque handle returned by :meth:`EventScheduler.schedule_at`.
 
@@ -76,6 +76,10 @@ class EventScheduler:
     [5.0]
     """
 
+    #: Compaction is skipped while fewer than this many tombstones exist, so
+    #: tiny heaps are not rebuilt on every cancellation.
+    COMPACT_MIN_TOMBSTONES = 32
+
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._heap: list[_Entry] = []
@@ -83,6 +87,7 @@ class EventScheduler:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -121,7 +126,24 @@ class EventScheduler:
             return False
         entry.cancelled = True
         del self._entries[(handle.when, handle.seq)]
+        self._tombstones += 1
+        if (
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._entries)
+        ):
+            self._compact()
         return True
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones.
+
+        Cancelled entries normally linger in the heap until popped; under a
+        schedule/cancel churn workload (MTA retry timers that almost always
+        get cancelled) they would otherwise accumulate without bound.
+        """
+        self._heap = [entry for entry in self._heap if not entry.cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -134,6 +156,7 @@ class EventScheduler:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                self._tombstones -= 1
                 continue
             del self._entries[(entry.when, entry.seq)]
             self.clock.advance_to(entry.when)
@@ -183,6 +206,7 @@ class EventScheduler:
     def _peek(self) -> Optional[_Entry]:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._tombstones -= 1
         return self._heap[0] if self._heap else None
 
     # ------------------------------------------------------------------
@@ -202,6 +226,11 @@ class EventScheduler:
     def events_processed(self) -> int:
         """Total events fired since construction."""
         return self._events_processed
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled entries still occupying heap slots."""
+        return self._tombstones
 
     def next_event_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when idle."""

@@ -1,0 +1,96 @@
+"""Unit tests for the on-disk shard result cache."""
+
+import json
+
+import pytest
+
+from repro.runner.cache import ResultCache, canonical_params, default_cache_root
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path, version="test-1")
+
+
+class TestCanonicalParams:
+    def test_key_order_does_not_matter(self):
+        assert canonical_params({"b": 2, "a": 1}) == canonical_params(
+            {"a": 1, "b": 2}
+        )
+
+    def test_nested_structures_stable(self):
+        a = canonical_params({"mix": {"y": 0.2, "x": 0.8}, "n": 3})
+        b = canonical_params({"n": 3, "mix": {"x": 0.8, "y": 0.2}})
+        assert a == b
+
+
+class TestResultCache:
+    def test_roundtrip(self, cache):
+        params = {"seed": 7, "chunk": 3}
+        cache.put("exp", params, {"total": 11})
+        assert cache.get("exp", params) == {"total": 11}
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_returns_default(self, cache):
+        assert cache.get("exp", {"seed": 1}, default="nope") == "nope"
+        assert cache.misses == 1
+
+    def test_params_distinguish_entries(self, cache):
+        cache.put("exp", {"seed": 1}, "one")
+        cache.put("exp", {"seed": 2}, "two")
+        assert cache.get("exp", {"seed": 1}) == "one"
+        assert cache.get("exp", {"seed": 2}) == "two"
+
+    def test_experiments_namespaced(self, cache):
+        cache.put("alpha", {"seed": 1}, "a")
+        assert cache.get("beta", {"seed": 1}) is None
+
+    def test_version_mismatch_is_miss(self, tmp_path):
+        old = ResultCache(root=tmp_path, version="v1")
+        old.put("exp", {"seed": 1}, "stale")
+        new = ResultCache(root=tmp_path, version="v2")
+        assert new.get("exp", {"seed": 1}) is None
+
+    def test_corrupt_file_is_miss(self, cache):
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get("exp", params) is None
+
+    def test_entry_file_is_inspectable_json(self, cache):
+        path = cache.put("exp", {"seed": 4}, [1, 2])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["experiment"] == "exp"
+        assert document["params"] == {"seed": 4}
+        assert document["value"] == [1, 2]
+
+    def test_contains(self, cache):
+        assert not cache.contains("exp", {"seed": 3})
+        cache.put("exp", {"seed": 3}, 0)
+        assert cache.contains("exp", {"seed": 3})
+
+    def test_clear_one_experiment(self, cache):
+        cache.put("alpha", {"s": 1}, 1)
+        cache.put("beta", {"s": 1}, 2)
+        assert cache.clear("alpha") == 1
+        assert cache.get("alpha", {"s": 1}) is None
+        assert cache.get("beta", {"s": 1}) == 2
+
+    def test_clear_all(self, cache):
+        cache.put("alpha", {"s": 1}, 1)
+        cache.put("beta", {"s": 1}, 2)
+        assert cache.clear() == 2
+
+    def test_no_leftover_temp_files(self, cache, tmp_path):
+        cache.put("exp", {"seed": 1}, "v")
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestDefaultRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_root().name == "repro-greylisting"

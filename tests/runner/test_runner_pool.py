@@ -1,0 +1,92 @@
+"""Unit tests for the process-pool task runner."""
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.pool import ExperimentRunner, effective_workers, run_tasks
+
+
+def square_task(payload):
+    return payload["x"] * payload["x"]
+
+
+def name_task(payload):
+    return {"name": payload["name"].upper()}
+
+
+class TestEffectiveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert effective_workers(3) == 3
+
+    def test_none_and_zero_mean_cpu_count(self):
+        assert effective_workers(None) >= 1
+        assert effective_workers(0) == effective_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            effective_workers(-1)
+
+
+class TestRunTasks:
+    def test_results_in_payload_order(self):
+        payloads = [{"x": x} for x in (5, 3, 1, 4)]
+        assert run_tasks(square_task, payloads, workers=1) == [25, 9, 1, 16]
+
+    def test_pool_matches_inline(self):
+        payloads = [{"x": x} for x in range(7)]
+        serial = run_tasks(square_task, payloads, workers=1)
+        parallel = run_tasks(square_task, payloads, workers=3)
+        assert parallel == serial
+
+    def test_empty_payloads(self):
+        assert run_tasks(square_task, [], workers=4) == []
+
+    def test_cache_requires_experiment_name(self):
+        with pytest.raises(ValueError):
+            run_tasks(
+                square_task, [{"x": 1}], cache=ResultCache(root="/tmp/x")
+            )
+
+    def test_cached_payloads_skipped(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        payloads = [{"x": x} for x in range(4)]
+        first = run_tasks(
+            square_task, payloads, workers=1, cache=cache, experiment="sq"
+        )
+        assert cache.stores == 4
+        second = run_tasks(
+            square_task, payloads, workers=1, cache=cache, experiment="sq"
+        )
+        assert second == first
+        assert cache.hits == 4
+        assert cache.stores == 4  # nothing recomputed, nothing re-stored
+
+    def test_partial_cache_fills_gaps(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        run_tasks(
+            square_task, [{"x": 2}], workers=1, cache=cache, experiment="sq"
+        )
+        results = run_tasks(
+            square_task,
+            [{"x": x} for x in (1, 2, 3)],
+            workers=1,
+            cache=cache,
+            experiment="sq",
+        )
+        assert results == [1, 4, 9]
+
+
+class TestExperimentRunner:
+    def test_map_counts_dispatches(self):
+        runner = ExperimentRunner(workers=1)
+        rows = runner.map(name_task, [{"name": "a"}, {"name": "b"}])
+        assert rows == [{"name": "A"}, {"name": "B"}]
+        assert runner.dispatched == 2
+
+    def test_map_without_experiment_bypasses_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runner = ExperimentRunner(workers=1, cache=cache)
+        runner.map(name_task, [{"name": "a"}])
+        assert cache.stores == 0
+        runner.map(name_task, [{"name": "a"}], experiment="names")
+        assert cache.stores == 1

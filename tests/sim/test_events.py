@@ -131,3 +131,53 @@ class TestRunLimits:
         sched.schedule_at(1.0, nested)
         with pytest.raises(SchedulerError):
             sched.run()
+
+
+class TestTombstoneCompaction:
+    def test_heap_bounded_under_cancel_churn(self, sched):
+        # Schedule/cancel churn (the MTA retry-timer pattern) must not
+        # accumulate cancelled entries: the heap stays proportional to the
+        # live event count, not to the total number of cancellations.
+        live = [sched.schedule_at(1e9, lambda: None) for _ in range(10)]
+        for round_ in range(200):
+            handles = [
+                sched.schedule_at(100.0 + round_, lambda: None)
+                for _ in range(50)
+            ]
+            for handle in handles:
+                sched.cancel(handle)
+        assert sched.pending == len(live)
+        assert len(sched._heap) <= sched.pending + sched.COMPACT_MIN_TOMBSTONES
+
+    def test_small_heaps_not_compacted(self, sched):
+        # Below the tombstone floor the heap is left alone (no rebuild
+        # thrash for tiny schedules).
+        handle = sched.schedule_at(5.0, lambda: None)
+        sched.cancel(handle)
+        assert sched.tombstones == 1
+
+    def test_step_consumes_tombstones(self, sched):
+        handles = [sched.schedule_at(float(i + 1), lambda: None) for i in range(5)]
+        for handle in handles[:3]:
+            sched.cancel(handle)
+        assert sched.tombstones == 3
+        sched.run()
+        assert sched.tombstones == 0
+        assert sched.events_processed == 2
+
+    def test_cancel_correct_across_compaction(self, sched):
+        fired = []
+        keep = [
+            sched.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(5)
+        ]
+        for round_ in range(100):
+            handles = [
+                sched.schedule_at(50.0 + round_, lambda: fired.append("x"))
+                for _ in range(10)
+            ]
+            for handle in handles:
+                assert sched.cancel(handle) is True
+        sched.cancel(keep[2])
+        sched.run()
+        assert fired == [0, 1, 3, 4]
