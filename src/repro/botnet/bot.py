@@ -18,7 +18,12 @@ from typing import List, Optional
 from ..dns.mxutil import MailExchanger, resolve_exchangers
 from ..dns.resolver import DNSError, StubResolver
 from ..net.address import IPv4Address
-from ..net.host import SMTP_PORT, ConnectionRefused, HostUnreachable
+from ..net.host import (
+    SMTP_PORT,
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+)
 from ..net.network import VirtualInternet
 from ..sim.events import EventScheduler
 from ..sim.rng import RandomStream
@@ -193,9 +198,14 @@ class SpamBot:
                     continue
                 self._after_failure(task)
                 return
-            outcome, reply_code = self._dialogue(
-                connection.session, task.message, task.recipient
-            )
+            try:
+                outcome, reply_code = self._dialogue(
+                    connection.session, task.message, task.recipient
+                )
+            except ConnectionReset:
+                # Session died mid-dialogue: bots treat it exactly like a
+                # refused connection (retry model decides what happens next).
+                outcome, reply_code = BotAttemptOutcome.CONNECTION_FAILED, None
             connection.close()
             break
         else:

@@ -23,6 +23,15 @@ def _workers_arg(value: str) -> int:
     return count
 
 
+def _fault_rate_arg(value: str) -> float:
+    rate = float(value)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"fault rate must lie in [0, 1], got {rate}"
+        )
+    return rate
+
+
 def _cmd_adoption(args: argparse.Namespace) -> int:
     from .core.adoption import run_adoption_experiment
     from .core.reports import figure2_text
@@ -37,6 +46,8 @@ def _cmd_adoption(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
     )
     print(figure2_text(result))
     return 0
@@ -278,6 +289,22 @@ def build_parser() -> argparse.ArgumentParser:
             "memoize completed experiment shards on disk "
             "($REPRO_CACHE_DIR or ~/.cache/repro-greylisting)"
         ),
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=_fault_rate_arg,
+        default=0.0,
+        help=(
+            "inject measurement-infrastructure faults (host outages, "
+            "port-25 flaps, DNS SERVFAIL/timeouts) at this per-entity "
+            "rate in [0, 1]; 0 disables injection"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for fault draws (default: --seed)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

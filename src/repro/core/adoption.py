@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..faults.model import FaultConfig, fault_params
 from ..runner.cache import ResultCache
 from ..runner.pool import run_tasks
 from ..scan.alexa import (
@@ -71,12 +72,21 @@ def run_adoption_experiment(
     config: Optional[PopulationConfig] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    fault_rate: float = 0.0,
+    fault_seed: Optional[int] = None,
 ) -> AdoptionExperimentResult:
     """Run the full adoption measurement end to end.
 
     ``workers`` fans the population's chunks over that many processes
     (``0`` means one per CPU); results are identical for any value.
     ``cache`` memoizes completed chunks on disk.
+
+    ``fault_rate`` turns on measurement-infrastructure faults: each scan
+    additionally suffers host outages, port-25 flaps and DNS
+    SERVFAIL/timeout bursts at that per-entity rate (see
+    :meth:`~repro.faults.model.FaultConfig.uniform`), drawn independently
+    per scan from ``fault_seed`` (default: ``seed``).  This exercises the
+    transient failures the paper's two-scan protocol exists to filter.
     """
     if config is None:
         config = PopulationConfig(
@@ -91,6 +101,14 @@ def run_adoption_experiment(
 
     from ..runner.shards import adoption_shard_task
 
+    faults = None
+    if fault_rate > 0.0:
+        faults = fault_params(
+            FaultConfig.uniform(
+                fault_rate, seed=seed if fault_seed is None else fault_seed
+            )
+        )
+
     params = population_params(config)
     payloads = [
         {
@@ -98,6 +116,9 @@ def run_adoption_experiment(
             "seed": seed,
             "glue_elision_rate": glue_elision_rate,
             "chunk": chunk,
+            # Only present when enabled, so fault-free runs keep hitting
+            # cache entries written before faults existed.
+            **({"faults": faults} if faults is not None else {}),
         }
         for chunk in range(plan.num_chunks)
     ]

@@ -16,7 +16,14 @@ from .records import (
     TXTRecord,
     normalize_name,
 )
-from .resolver import DNSError, MXAnswer, NXDomain, ServFail, StubResolver
+from .resolver import (
+    DNSError,
+    DNSTimeout,
+    MXAnswer,
+    NXDomain,
+    ServFail,
+    StubResolver,
+)
 from .spf import (
     SPFEvaluator,
     SPFMechanism,
@@ -32,6 +39,7 @@ __all__ = [
     "ARecord",
     "DNSError",
     "DNSRecordError",
+    "DNSTimeout",
     "MailDomainSetup",
     "MailExchanger",
     "MXAnswer",

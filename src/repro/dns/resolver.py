@@ -16,13 +16,16 @@ implements the behaviours the paper's measurement pipeline depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from ..net.address import IPv4Address
 from ..sim.clock import Clock
 from ..sim.rng import RandomStream
 from .records import ARecord, MXRecord, normalize_name
 from .zone import ZoneStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.model import FaultPlan
 
 
 class DNSError(Exception):
@@ -35,6 +38,10 @@ class NXDomain(DNSError):
 
 class ServFail(DNSError):
     """The authoritative server failed (simulated outage)."""
+
+
+class DNSTimeout(DNSError):
+    """The query went unanswered (injected resolver/network fault)."""
 
 
 @dataclass
@@ -66,6 +73,15 @@ class StubResolver:
         from the additional section (0 disables elision).
     rng:
         Randomness for glue elision; required when ``glue_elision_rate > 0``.
+    faults:
+        Optional :class:`~repro.faults.model.FaultPlan`.  Authoritative
+        queries (cache misses only — cached answers never touch the flaky
+        server) may then SERVFAIL, time out, or hit a persistently lame
+        delegation, all drawn deterministically per ``(name, epoch)``.
+    fault_epoch:
+        Downtime-window index for fault draws: an int pins it (scanners
+        pass the scan index), a callable is evaluated per query
+        (clock-driven simulations).
     """
 
     def __init__(
@@ -74,6 +90,8 @@ class StubResolver:
         clock: Optional[Clock] = None,
         glue_elision_rate: float = 0.0,
         rng: Optional[RandomStream] = None,
+        faults: Optional["FaultPlan"] = None,
+        fault_epoch: Union[int, Callable[[], int]] = 0,
     ) -> None:
         if not 0.0 <= glue_elision_rate <= 1.0:
             raise ValueError("glue_elision_rate must be within [0, 1]")
@@ -83,6 +101,8 @@ class StubResolver:
         self.clock = clock
         self.glue_elision_rate = glue_elision_rate
         self._rng = rng
+        self._faults = faults
+        self._fault_epoch = fault_epoch
         self._a_cache: Dict[str, Tuple[float, List[ARecord]]] = {}
         self._mx_cache: Dict[str, Tuple[float, List[MXRecord]]] = {}
         self.queries = 0
@@ -107,6 +127,29 @@ class StubResolver:
         for i in range(len(labels)):
             if ".".join(labels[i:]) in self._broken_zones:
                 raise ServFail(f"authoritative server for {name!r} failed")
+
+    def _check_faults(self, qtype: str, name: str) -> None:
+        """Injected transient faults for one authoritative query."""
+        if self._faults is None:
+            return
+        epoch = (
+            self._fault_epoch()
+            if callable(self._fault_epoch)
+            else self._fault_epoch
+        )
+        outcome = self._faults.dns_fault(name, epoch)
+        if outcome == "servfail":
+            self.query_log.append((qtype, name, "SERVFAIL"))
+            raise ServFail(f"{name!r} SERVFAIL (injected, epoch {epoch})")
+        if outcome == "timeout":
+            self.query_log.append((qtype, name, "TIMEOUT"))
+            raise DNSTimeout(f"{name!r} timed out (injected, epoch {epoch})")
+
+    def _check_lame(self, qtype: str, apex: str) -> None:
+        """Injected persistently lame delegation for a zone."""
+        if self._faults is not None and self._faults.zone_lame(apex):
+            self.query_log.append((qtype, apex, "SERVFAIL (lame)"))
+            raise ServFail(f"lame delegation for zone {apex!r}")
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -146,10 +189,12 @@ class StubResolver:
             return list(cached)
         self.queries += 1
         self._check_broken(name)
+        self._check_faults("A", name)
         zone = self.zones.zone_for(name)
         if zone is None:
             self.query_log.append(("A", name, "NXDOMAIN"))
             raise NXDomain(name)
+        self._check_lame("A", zone.apex)
         records = zone.a_records(name)
         if not records and name not in zone.names() and name != zone.apex:
             self.query_log.append(("A", name, "NXDOMAIN"))
@@ -176,10 +221,12 @@ class StubResolver:
         else:
             self.queries += 1
             self._check_broken(domain)
+            self._check_faults("MX", domain)
             zone = self.zones.zone_for(domain)
             if zone is None:
                 self.query_log.append(("MX", domain, "NXDOMAIN"))
                 raise NXDomain(domain)
+            self._check_lame("MX", zone.apex)
             records = zone.mx_records(domain)
             self.query_log.append(
                 (

@@ -1,0 +1,251 @@
+"""Deterministic fault model for the simulation substrate.
+
+The paper's world-wide adoption measurement repeats its DNS + SMTP scan
+two months apart precisely because the internet is flaky: hosts sit in
+maintenance windows, resolvers SERVFAIL in bursts, delegations go lame,
+and TCP sessions die mid-dialogue.  This module gives the substrates a
+shared, seed-derived source of exactly those faults so the measurement
+pipeline's transient-outage filtering becomes testable.
+
+Every fault decision is a pure function of ``(fault seed, entity label,
+epoch)`` drawn through the repository's standard ``seed:label``
+RNG-splitting scheme: asking whether ``host-x`` is down during epoch 3
+yields the same answer in any process, in any order, any number of times.
+That property is what keeps the parallel experiment runner's
+workers-1/2/4 bit-for-bit determinism intact with faults enabled.
+
+Epochs quantize time into scheduled downtime windows.  Scanners use the
+scan index as the epoch (each scan sees an independent fault draw, the
+situation the paper's two-scan protocol is built to filter); clock-driven
+simulations derive the epoch from the simulation time via
+:meth:`FaultConfig.epoch_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..sim.rng import RandomStream
+
+#: Fault kinds counted by :class:`FaultPlan` (observability, not results).
+FAULT_KINDS = (
+    "host_down",
+    "port_flap",
+    "dns_servfail",
+    "dns_timeout",
+    "lame_delegation",
+    "connection_reset",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and identity of the injected faults.
+
+    All rates are per-(entity, epoch) Bernoulli probabilities except
+    ``lame_delegation_rate``, which is per-zone and *persistent* — a lame
+    delegation stays lame in every epoch, which is why the two-scan filter
+    cannot (and should not) recover it.
+    """
+
+    seed: int = 0
+    #: Probability a host is inside a downtime window during an epoch.
+    host_outage_rate: float = 0.0
+    #: Probability a host's port 25 flaps (refuses) during an epoch.
+    port_flap_rate: float = 0.0
+    #: Probability an authoritative DNS query SERVFAILs during an epoch.
+    dns_servfail_rate: float = 0.0
+    #: Probability an authoritative DNS query times out during an epoch.
+    dns_timeout_rate: float = 0.0
+    #: Probability a zone's delegation is (persistently) lame.
+    lame_delegation_rate: float = 0.0
+    #: Probability an established SMTP session is reset mid-dialogue.
+    connection_reset_rate: float = 0.0
+    #: Width of one downtime window in simulated seconds (clock epochs).
+    epoch_length: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "host_outage_rate",
+            "port_flap_rate",
+            "dns_servfail_rate",
+            "dns_timeout_rate",
+            "lame_delegation_rate",
+            "connection_reset_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        if self.dns_servfail_rate + self.dns_timeout_rate > 1.0:
+            raise ValueError("dns_servfail_rate + dns_timeout_rate > 1")
+        if self.epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultConfig":
+        """One-knob constructor: every transient fault kind at ``rate``.
+
+        This is what the CLI's ``--fault-rate`` builds.  Lame delegations
+        stay off — they are persistent faults that no amount of re-scanning
+        filters out, so they are opted into explicitly.
+        """
+        return cls(
+            seed=seed,
+            host_outage_rate=rate,
+            port_flap_rate=rate,
+            dns_servfail_rate=rate,
+            dns_timeout_rate=rate / 2.0,
+            connection_reset_rate=rate,
+        )
+
+    def epoch_for(self, now: float) -> int:
+        """Quantize a simulation timestamp into a downtime-window index."""
+        return int(now // self.epoch_length)
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, name) > 0.0
+            for name in (
+                "host_outage_rate",
+                "port_flap_rate",
+                "dns_servfail_rate",
+                "dns_timeout_rate",
+                "lame_delegation_rate",
+                "connection_reset_rate",
+            )
+        )
+
+
+def fault_params(config: FaultConfig) -> Dict[str, Any]:
+    """Canonical, JSON-able description of a fault config (cache keys)."""
+    return {
+        "seed": config.seed,
+        "host_outage_rate": config.host_outage_rate,
+        "port_flap_rate": config.port_flap_rate,
+        "dns_servfail_rate": config.dns_servfail_rate,
+        "dns_timeout_rate": config.dns_timeout_rate,
+        "lame_delegation_rate": config.lame_delegation_rate,
+        "connection_reset_rate": config.connection_reset_rate,
+        "epoch_length": config.epoch_length,
+    }
+
+
+def fault_from_params(params: Dict[str, Any]) -> FaultConfig:
+    """Inverse of :func:`fault_params`."""
+    return FaultConfig(
+        seed=int(params["seed"]),
+        host_outage_rate=float(params["host_outage_rate"]),
+        port_flap_rate=float(params["port_flap_rate"]),
+        dns_servfail_rate=float(params["dns_servfail_rate"]),
+        dns_timeout_rate=float(params["dns_timeout_rate"]),
+        lame_delegation_rate=float(params["lame_delegation_rate"]),
+        connection_reset_rate=float(params["connection_reset_rate"]),
+        epoch_length=float(params["epoch_length"]),
+    )
+
+
+class FaultPlan:
+    """Answers "is this entity faulted right now?" deterministically.
+
+    Each query derives a private :class:`RandomStream` from
+    ``(config.seed, kind, epoch, entity)``, so the answers are independent
+    of query order and of which other entities were ever asked about —
+    the same stability contract the population generator's chunked
+    generation relies on.  The plan also counts the faults it injects
+    (:attr:`events`) for observability; counters never feed back into any
+    decision.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._root = RandomStream(config.seed, "faults")
+        self.events: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # ------------------------------------------------------------------
+    # Draw plumbing
+    # ------------------------------------------------------------------
+    def _stream(self, label: str) -> RandomStream:
+        return self._root.split(label)
+
+    def _hit(self, label: str, rate: float, kind: str) -> bool:
+        if rate <= 0.0:
+            return False
+        if self._stream(label).random() < rate:
+            self.events[kind] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Host / port faults
+    # ------------------------------------------------------------------
+    def host_down(self, host: str, epoch: int) -> bool:
+        """Whole-host downtime window (SYNs go unanswered)."""
+        return self._hit(
+            f"host:{epoch}:{host}", self.config.host_outage_rate, "host_down"
+        )
+
+    def port_closed(self, host: str, epoch: int) -> bool:
+        """Port-25 flap: the host is up but its MTA is not listening."""
+        return self._hit(
+            f"port:{epoch}:{host}", self.config.port_flap_rate, "port_flap"
+        )
+
+    def smtp_down(self, host: str, epoch: int) -> bool:
+        """Either failure mode a TCP/25 probe cannot tell apart."""
+        return self.host_down(host, epoch) or self.port_closed(host, epoch)
+
+    # ------------------------------------------------------------------
+    # DNS faults
+    # ------------------------------------------------------------------
+    def dns_fault(self, name: str, epoch: int) -> Optional[str]:
+        """``"servfail"``, ``"timeout"`` or ``None`` for one query name.
+
+        A single draw splits the unit interval into servfail / timeout /
+        healthy bands so the two failure kinds stay mutually exclusive.
+        """
+        servfail = self.config.dns_servfail_rate
+        timeout = self.config.dns_timeout_rate
+        if servfail <= 0.0 and timeout <= 0.0:
+            return None
+        draw = self._stream(f"dns:{epoch}:{name}").random()
+        if draw < servfail:
+            self.events["dns_servfail"] += 1
+            return "servfail"
+        if draw < servfail + timeout:
+            self.events["dns_timeout"] += 1
+            return "timeout"
+        return None
+
+    def zone_lame(self, apex: str) -> bool:
+        """Persistently lame delegation for a zone (epoch-independent)."""
+        return self._hit(
+            f"lame:{apex}", self.config.lame_delegation_rate, "lame_delegation"
+        )
+
+    # ------------------------------------------------------------------
+    # Connection faults
+    # ------------------------------------------------------------------
+    def session_reset_after(self, label: str) -> Optional[int]:
+        """Commands an established session survives before a reset.
+
+        Returns ``None`` for healthy sessions; otherwise a budget of 1–4
+        commands, after which the session raises
+        :class:`~repro.net.host.ConnectionReset` — mid-dialogue, the way
+        real TCP resets land.  ``label`` must identify the connection
+        uniquely and deterministically (the virtual internet uses its
+        monotone connection counter).
+        """
+        rate = self.config.connection_reset_rate
+        if rate <= 0.0:
+            return None
+        stream = self._stream(f"reset:{label}")
+        if stream.random() >= rate:
+            return None
+        self.events["connection_reset"] += 1
+        return stream.randint(1, 4)
+
+    def __repr__(self) -> str:
+        injected = {k: v for k, v in self.events.items() if v}
+        return f"FaultPlan(seed={self.config.seed}, events={injected})"

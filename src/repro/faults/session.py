@@ -1,0 +1,56 @@
+"""Session proxy that injects mid-dialogue connection resets.
+
+A reset is abrupt: the client has an established connection, has possibly
+sent several commands, and the next write dies.  :class:`ResettingSession`
+wraps any application session (SMTP server session, bot-facing session —
+anything driven by method calls) and raises
+:class:`~repro.net.host.ConnectionReset` once its command budget is spent,
+after notifying the inner session so server-side state and stats stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net.host import ConnectionReset
+
+
+class ResettingSession:
+    """Wraps a session; the Nth method call raises :class:`ConnectionReset`.
+
+    Non-callable attributes (``banner``, ``state``, ...) pass through
+    untouched and consume no budget — reading them models the client
+    inspecting data it already received, not a write on the wire.
+    """
+
+    def __init__(self, inner: Any, commands_before_reset: int) -> None:
+        if commands_before_reset < 1:
+            raise ValueError("commands_before_reset must be >= 1")
+        self._inner = inner
+        self._budget = commands_before_reset
+
+    @property
+    def wrapped(self) -> Any:
+        return self._inner
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+
+        def faulted(*args: Any, **kwargs: Any) -> Any:
+            if self._budget <= 0:
+                abort = getattr(self._inner, "abort", None)
+                if callable(abort):
+                    abort()
+                raise ConnectionReset(
+                    f"connection reset during {name!r}"
+                )
+            self._budget -= 1
+            return attr(*args, **kwargs)
+
+        return faulted
+
+    def __repr__(self) -> str:
+        return f"ResettingSession(budget={self._budget}, inner={self._inner!r})"

@@ -127,5 +127,7 @@ class NaiveBayesFilter:
                 ham_tokens + self.smoothing * v
             )
             scored.append((token, p_spam / p_ham))
-        scored.sort(key=lambda kv: kv[1], reverse=True)
+        # Tie-break on the token so the cut at k does not depend on set
+        # iteration order (i.e. on hash randomization).
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
         return scored[:k]

@@ -9,7 +9,7 @@ Postgrey's periodic database cleanup.
 
 from __future__ import annotations
 
-from typing import List, TextIO
+from typing import List, Optional, TextIO
 
 from ..net.address import IPv4Address
 from ..sim.clock import Clock
@@ -49,13 +49,14 @@ def dump_store(store: TripletStore) -> str:
 def load_store(
     text: str,
     clock: Clock,
-    retry_window: float = None,
-    whitelist_lifetime: float = None,
+    retry_window: Optional[float] = None,
+    whitelist_lifetime: Optional[float] = None,
 ) -> TripletStore:
     """Rebuild a store from a snapshot.
 
     Entries that are already expired relative to ``clock.now`` are dropped
-    on load (the same semantics a live lookup would apply).
+    on load (the same semantics a live lookup would apply).  ``None`` for
+    either window means the :class:`TripletStore` default.
     """
     kwargs = {}
     if retry_window is not None:

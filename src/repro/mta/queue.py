@@ -147,8 +147,12 @@ class QueueManager:
         if result.outcome is AttemptOutcome.BOUNCED:
             self._finish(entry, QueueEntryState.BOUNCED)
             return
-        if result.outcome is AttemptOutcome.DNS_FAILURE:
-            # Treat like a transient routing problem: retry per schedule.
+        if result.outcome in (
+            AttemptOutcome.DNS_FAILURE,
+            AttemptOutcome.CONNECTION_RESET,
+        ):
+            # Transient routing/session problems: retry per schedule, like
+            # any deferral — a reset mid-dialogue is not a rejection.
             pass
 
         queue_age = self.scheduler.now - entry.enqueued_at

@@ -11,6 +11,7 @@ from .host import (
     SMTP_PORT,
     Connection,
     ConnectionRefused,
+    ConnectionReset,
     HostUnreachable,
     NetError,
     VirtualHost,
@@ -24,6 +25,7 @@ __all__ = [
     "AddressPool",
     "Connection",
     "ConnectionRefused",
+    "ConnectionReset",
     "FixedLatency",
     "HostUnreachable",
     "IPv4Address",

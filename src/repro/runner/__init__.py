@@ -15,12 +15,13 @@ shards in an on-disk JSON cache so repeated sweeps skip work already done.
 """
 
 from .cache import ResultCache, canonical_params, default_cache_root
-from .pool import ExperimentRunner, effective_workers, run_tasks
+from .pool import ExperimentRunner, TaskFailure, effective_workers, run_tasks
 from . import shards  # noqa: F401 — task functions for worker processes
 
 __all__ = [
     "ExperimentRunner",
     "ResultCache",
+    "TaskFailure",
     "canonical_params",
     "default_cache_root",
     "effective_workers",

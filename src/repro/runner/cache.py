@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
 
 _MISS = object()
 
@@ -74,6 +77,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: entries that failed to parse and were quarantined (``.corrupt``)
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -139,13 +144,35 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
+        except FileNotFoundError:
+            return _MISS
         except (OSError, ValueError):
+            # Truncated write, disk error, garbage bytes: quarantine the
+            # file so the next run does not re-parse (and re-log) it.
+            self._quarantine(path, "unreadable or not valid JSON")
             return _MISS
         if not isinstance(document, dict) or "value" not in document:
+            self._quarantine(path, "valid JSON but not a cache document")
             return _MISS
         if document.get("version") != self.version:
+            # Healthy entry from other code — a miss, not corruption.
             return _MISS
         return document["value"]
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside as ``<name>.corrupt`` and count the event."""
+        self.corrupt += 1
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None
+        logger.warning(
+            "cache_corrupt: %s (%s)%s",
+            path,
+            reason,
+            f"; moved to {quarantined}" if quarantined else "",
+        )
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -169,5 +196,5 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache(root={str(self.root)!r}, version={self.version!r}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, corrupt={self.corrupt})"
         )

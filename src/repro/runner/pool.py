@@ -23,17 +23,35 @@ writers).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .cache import ResultCache
 
+logger = logging.getLogger(__name__)
+
 TaskFn = Callable[[Dict[str, Any]], Any]
 
 _SENTINEL = object()
+
+
+class TaskFailure(RuntimeError):
+    """A payload failed even after its inline retry.
+
+    Carries the payload ``index`` so a long sweep's error points at the
+    exact grid point that died, not just at :func:`run_tasks`.
+    """
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        super().__init__(
+            f"payload {index} failed twice (original error: {cause!r})"
+        )
+        self.index = index
 
 
 def effective_workers(workers: Optional[int]) -> int:
@@ -97,8 +115,9 @@ def run_tasks(
     if pending:
         if count <= 1 or len(pending) == 1:
             for index in pending:
-                results[index] = fn(payloads[index])
+                results[index] = _run_one(fn, payloads, index)
         else:
+            failed: List[int] = []
             with ProcessPoolExecutor(
                 max_workers=min(count, len(pending)),
                 mp_context=_pool_context(),
@@ -108,11 +127,45 @@ def run_tasks(
                     for index in pending
                 }
                 for index, future in futures.items():
-                    results[index] = future.result()
+                    try:
+                        results[index] = future.result()
+                    except (Exception, BrokenProcessPool) as error:
+                        # A raising task — or a worker that died outright,
+                        # which breaks the pool and fails every in-flight
+                        # future.  Either way the sweep survives: the
+                        # payload is re-run inline below.
+                        logger.warning(
+                            "worker failed on payload %d (%r); retrying "
+                            "inline",
+                            index,
+                            error,
+                        )
+                        failed.append(index)
+            for index in failed:
+                results[index] = _run_one(fn, payloads, index)
         if cache is not None:
             for index in pending:
                 cache.put(experiment, payloads[index], results[index])
     return results
+
+
+def _run_one(fn: TaskFn, payloads: Sequence[Dict[str, Any]], index: int) -> Any:
+    """Run one payload inline, retrying once; raise TaskFailure after that.
+
+    The single retry covers transient causes (a crashed worker, an OS-level
+    hiccup); a payload that fails twice in this process is deterministic
+    breakage and aborts the sweep with its index attached.
+    """
+    try:
+        return fn(payloads[index])
+    except Exception as first:
+        logger.warning(
+            "payload %d raised %r; retrying once", index, first
+        )
+        try:
+            return fn(payloads[index])
+        except Exception as second:
+            raise TaskFailure(index, second) from second
 
 
 @dataclass

@@ -25,8 +25,14 @@ def adoption_shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Generate, scan and classify one chunk of the synthetic internet.
 
     Payload keys: ``population`` (canonical config params), ``seed``,
-    ``glue_elision_rate``, ``chunk``.
+    ``glue_elision_rate``, ``chunk``, and optionally ``faults`` (canonical
+    :func:`~repro.faults.model.fault_params`; absent means no injection —
+    keeping fault-free payloads byte-identical to the pre-fault cache key).
+
+    Fault draws are keyed by ``(fault seed, kind, scan index, name)``, so
+    the chunk decomposition cannot change which domains or addresses fail.
     """
+    from ..faults.model import FaultPlan, fault_from_params
     from ..scan.detect import DomainClass
     from ..scan.population import SyntheticInternet, population_from_params
     from ..scan.scanner import DNSScanner, SMTPScanner
@@ -37,13 +43,18 @@ def adoption_shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     seed = int(payload["seed"])
     internet = SyntheticInternet.shard(config, seed, [int(payload["chunk"])])
 
+    faults = None
+    if payload.get("faults") is not None:
+        faults = FaultPlan(fault_from_params(payload["faults"]))
+
     rng = RandomStream(seed, "adoption-scan")
     dns_scanner = DNSScanner(
         internet,
         glue_elision_rate=float(payload["glue_elision_rate"]),
         rng=rng,
+        faults=faults,
     )
-    smtp_scanner = SMTPScanner(internet)
+    smtp_scanner = SMTPScanner(internet, faults=faults)
 
     dns_a = dns_scanner.scan(scan_index=0)
     dns_b = dns_scanner.scan(scan_index=1)

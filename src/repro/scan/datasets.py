@@ -41,6 +41,19 @@ class DomainObservation:
     mx: List[MXObservation] = field(default_factory=list)
     nxdomain: bool = False
     servfail: bool = False
+    #: the query went unanswered (resolver/network fault) — like servfail,
+    #: a transient condition this scan learned nothing from
+    timeout: bool = False
+
+    @property
+    def failed_transiently(self) -> bool:
+        """The scan got no answer at all for this domain (SERVFAIL/timeout).
+
+        Unlike NXDOMAIN, which is an authoritative statement about the
+        domain, these tell us nothing — the two-scan protocol falls back
+        to the other scan's observation.
+        """
+        return self.servfail or self.timeout
 
     @property
     def has_mx(self) -> bool:

@@ -43,6 +43,7 @@ class SingleScanVerdict(enum.Enum):
     NOLISTING_CANDIDATE = "candidate"      # primary down, a secondary up
     ALL_DOWN = "all-down"                  # nothing answered
     MISCONFIGURED = "misconfigured"        # no usable MX records
+    UNKNOWN = "unknown"                    # SERVFAIL/timeout: scan saw nothing
 
 
 @dataclass
@@ -59,8 +60,11 @@ def classify_single_scan(
     smtp: SMTPScanDataset,
 ) -> SingleScanVerdict:
     """Steps 1-3 for one domain in one scan."""
-    if observation is None or observation.nxdomain or observation.servfail:
+    if observation is None or observation.nxdomain:
         return SingleScanVerdict.MISCONFIGURED
+    if observation.failed_transiently:
+        # SERVFAIL / timeout: the scan learned nothing about this domain.
+        return SingleScanVerdict.UNKNOWN
     resolved = [record for record in observation.sorted_mx() if record.resolved]
     if not resolved:
         return SingleScanVerdict.MISCONFIGURED
@@ -85,7 +89,12 @@ def classify_two_scans(
     * primary operational in at least one scan → not using nolisting;
     * candidate in both scans → nolisting (or a persistent primary failure,
       "which is in practice equivalent to nolisting");
-    * no usable MX in both scans → DNS misconfigured;
+    * candidate in only one scan → a transient outage, not nolisting —
+      this includes candidate + unknown, because the protocol demands
+      confirmation in *both* scans before counting a domain as nolisting;
+    * no usable MX in both scans → DNS misconfigured (a scan that saw
+      nothing at all — SERVFAIL/timeout — in *both* rounds lands here too:
+      the pipeline could never resolve the domain);
     * single MX → one-MX bucket (nolisting needs >= 2 records).
     """
     verdicts = [verdict_a, verdict_b]
@@ -110,6 +119,40 @@ def classify_two_scans(
     return DomainVerdict(
         domain=domain, domain_class=domain_class, scan_verdicts=verdicts
     )
+
+
+#: What one scan alone would conclude — the no-repeat ablation.  A
+#: candidate becomes "nolisting" outright (no second scan to confirm), and
+#: a transient resolution failure is indistinguishable from a DNS problem.
+_SINGLE_SCAN_CLASS: Dict[SingleScanVerdict, DomainClass] = {
+    SingleScanVerdict.ONE_MX: DomainClass.ONE_MX,
+    SingleScanVerdict.PRIMARY_UP: DomainClass.MULTI_MX_NO_NOLISTING,
+    SingleScanVerdict.NOLISTING_CANDIDATE: DomainClass.NOLISTING,
+    SingleScanVerdict.ALL_DOWN: DomainClass.MULTI_MX_NO_NOLISTING,
+    SingleScanVerdict.MISCONFIGURED: DomainClass.DNS_MISCONFIGURED,
+    SingleScanVerdict.UNKNOWN: DomainClass.DNS_MISCONFIGURED,
+}
+
+
+def summarize_single_scan(
+    dns: "DNSScanDataset", smtp: "SMTPScanDataset"
+) -> "AdoptionSummary":
+    """Classify every domain from ONE scan pair — the transient-outage
+    ablation.
+
+    This is what the paper's measurement would have reported had it not
+    repeated the scan two months later: every transiently-down primary
+    counts as nolisting, every resolver hiccup as a misconfiguration.
+    Comparing this against :meth:`NolistingDetector.summarize` quantifies
+    the value of the repeat-scan filter.
+    """
+    counts = {c: 0 for c in DomainClass}
+    total = 0
+    for observation in dns:
+        verdict = classify_single_scan(observation, smtp)
+        counts[_SINGLE_SCAN_CLASS[verdict]] += 1
+        total += 1
+    return AdoptionSummary(total_domains=total, counts=counts)
 
 
 @dataclass

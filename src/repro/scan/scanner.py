@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from ..dns.resolver import NXDomain, ServFail, StubResolver
+from ..dns.resolver import DNSTimeout, NXDomain, ServFail, StubResolver
+from ..faults.model import FaultPlan
 from ..net.address import IPv4Address
 from ..sim.rng import RandomStream
 from .datasets import (
@@ -36,6 +37,11 @@ class DNSScanner:
     glue_elision_rate:
         Fraction of MX answers whose glue A record is dropped from the
         capture (the scans.io dataset's "not properly resolved" entries).
+    faults:
+        Optional :class:`~repro.faults.model.FaultPlan`.  Resolution then
+        suffers SERVFAIL/timeout bursts and lame delegations, drawn per
+        ``(domain, scan index)`` — independently per scan, which is the
+        transient-failure mode the two-scan protocol filters.
     """
 
     def __init__(
@@ -43,6 +49,7 @@ class DNSScanner:
         internet: SyntheticInternet,
         glue_elision_rate: float = 0.1,
         rng: Optional[RandomStream] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if not 0.0 <= glue_elision_rate <= 1.0:
             raise ValueError("glue_elision_rate must lie in [0, 1]")
@@ -51,6 +58,7 @@ class DNSScanner:
         self.internet = internet
         self.glue_elision_rate = glue_elision_rate
         self.rng = rng
+        self.faults = faults
 
     def scan(self, scan_index: int) -> DNSScanDataset:
         """Capture the population's DNS state.
@@ -61,7 +69,9 @@ class DNSScanner:
         the population captures exactly what a full scan would for the
         same domains, which the parallel runner's merge relies on.
         """
-        resolver = StubResolver(self.internet.zones)
+        resolver = StubResolver(
+            self.internet.zones, faults=self.faults, fault_epoch=scan_index
+        )
         dataset = DNSScanDataset(scan_index=scan_index)
         elide = self.glue_elision_rate > 0 and self.rng is not None
         for truth in self.internet.domains:
@@ -70,6 +80,10 @@ class DNSScanner:
                 answer = resolver.resolve_mx(truth.name)
             except NXDomain:
                 observation.nxdomain = True
+                dataset.add(observation)
+                continue
+            except DNSTimeout:
+                observation.timeout = True
                 dataset.add(observation)
                 continue
             except ServFail:
@@ -109,6 +123,10 @@ class DNSScanner:
         IP address", issue the missing A query.  Returns how many entries
         were repaired.  Dangling exchanges (no A record anywhere) stay
         unresolved — those are genuine misconfigurations.
+
+        The parallel scanner runs after the sweep, outside the scan's
+        fault window, so it resolves against a healthy resolver — faults
+        belong to the capture, not to the repair pass.
         """
         resolver = StubResolver(self.internet.zones)
         repaired = 0
@@ -125,10 +143,22 @@ class DNSScanner:
 
 
 class SMTPScanner:
-    """SYN-scans a list of addresses on TCP/25 (the banner grab)."""
+    """SYN-scans a list of addresses on TCP/25 (the banner grab).
 
-    def __init__(self, internet: SyntheticInternet) -> None:
+    With a :class:`~repro.faults.model.FaultPlan` attached, addresses may
+    additionally appear down during a scan — a host downtime window or a
+    port-25 flap, drawn per ``(address, scan index)``.  A SYN probe cannot
+    distinguish the two, and neither can the paper's pipeline; that is
+    exactly why the measurement is repeated two months later.
+    """
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.internet = internet
+        self.faults = faults
 
     def scan(
         self,
@@ -141,6 +171,11 @@ class SMTPScanner:
         dataset = SMTPScanDataset(scan_index=scan_index)
         for address in addresses:
             dataset.probed += 1
-            if self.internet.is_listening(address, scan_index):
-                dataset.add(address)
+            if not self.internet.is_listening(address, scan_index):
+                continue
+            if self.faults is not None and self.faults.smtp_down(
+                str(address), scan_index
+            ):
+                continue
+            dataset.add(address)
         return dataset

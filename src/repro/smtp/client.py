@@ -25,7 +25,12 @@ from ..dns.mxutil import (
 )
 from ..dns.resolver import DNSError, NXDomain, StubResolver
 from ..net.address import IPv4Address
-from ..net.host import SMTP_PORT, ConnectionRefused, HostUnreachable
+from ..net.host import (
+    SMTP_PORT,
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+)
 from ..net.network import VirtualInternet
 from .message import Message
 from .replies import Reply
@@ -39,6 +44,7 @@ class AttemptOutcome(enum.Enum):
     BOUNCED = "bounced"                # 5yz anywhere — permanent failure
     NO_ROUTE = "no-route"              # every MX unreachable/refused
     DNS_FAILURE = "dns-failure"        # NXDOMAIN / SERVFAIL / no usable MX
+    CONNECTION_RESET = "reset"         # session died mid-dialogue
 
 
 @dataclass
@@ -60,6 +66,7 @@ class AttemptResult:
         return self.outcome in (
             AttemptOutcome.DEFERRED,
             AttemptOutcome.NO_ROUTE,
+            AttemptOutcome.CONNECTION_RESET,
         )
 
 
@@ -130,6 +137,7 @@ class SMTPClient:
                 outcome=AttemptOutcome.DNS_FAILURE,
                 attempts_log=[f"no usable MX for {domain}"],
             )
+        saw_reset = False
         for exchanger in candidates:
             assert exchanger.address is not None
             try:
@@ -139,12 +147,25 @@ class SMTPClient:
             except (ConnectionRefused, HostUnreachable) as exc:
                 log.append(f"{exchanger.hostname}: {exc.__class__.__name__}")
                 continue
-            result = self._dialogue(connection.session, message, recipient)
+            try:
+                result = self._dialogue(connection.session, message, recipient)
+            except ConnectionReset:
+                # RFC 5321 §5.1: a connection failure means "try the next
+                # address"; a mid-dialogue reset is treated the same way.
+                connection.close()
+                log.append(f"{exchanger.hostname}: ConnectionReset")
+                saw_reset = True
+                continue
             connection.close()
             result.exchanger = exchanger
             result.attempts_log = log + result.attempts_log
             return result
-        return AttemptResult(outcome=AttemptOutcome.NO_ROUTE, attempts_log=log)
+        outcome = (
+            AttemptOutcome.CONNECTION_RESET
+            if saw_reset
+            else AttemptOutcome.NO_ROUTE
+        )
+        return AttemptResult(outcome=outcome, attempts_log=log)
 
     def _dialogue(
         self, session, message: Message, recipient: str

@@ -145,6 +145,8 @@ class SMTPServerStats:
     envelopes_accepted: int = 0
     envelopes_rejected: int = 0
     protocol_errors: int = 0
+    #: sessions torn down mid-dialogue (client vanished / connection reset)
+    sessions_aborted: int = 0
 
 
 class SMTPServer:
@@ -377,6 +379,20 @@ class SMTPSession:
         if accepted_any:
             return replies.ok("2.0.0 message accepted for delivery")
         return Reply(replies.CODE_TRANSACTION_FAILED, "transaction failed")
+
+    def abort(self) -> None:
+        """Abrupt teardown (connection reset): drop any open transaction.
+
+        Unlike :meth:`quit` no reply crosses the wire — the peer is gone.
+        The open envelope is discarded, exactly what an MTA does when the
+        socket dies before DATA completed.
+        """
+        if self.state is SessionState.CLOSED:
+            return
+        self.state = SessionState.CLOSED
+        self.sender = None
+        self.recipients = []
+        self.server.stats.sessions_aborted += 1
 
     def rset(self) -> Reply:
         if self.state is SessionState.CLOSED:

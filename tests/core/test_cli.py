@@ -30,6 +30,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_fault_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["--fault-rate", "0.05", "--fault-seed", "9", "adoption"]
+        )
+        assert args.fault_rate == 0.05
+        assert args.fault_seed == 9
+
+    def test_fault_rate_defaults_off(self):
+        args = build_parser().parse_args(["adoption"])
+        assert args.fault_rate == 0.0
+        assert args.fault_seed is None
+
+    def test_fault_rate_out_of_range_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--fault-rate", "1.5", "adoption"])
+
 
 class TestCommands:
     def test_mta_survey(self, capsys):
@@ -59,6 +75,24 @@ class TestCommands:
 
     def test_adoption(self, capsys):
         assert main(["--seed", "42", "adoption", "--domains", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Using nolisting" in out
+
+    def test_adoption_with_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "--seed",
+                    "42",
+                    "--fault-rate",
+                    "0.02",
+                    "adoption",
+                    "--domains",
+                    "2000",
+                ]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "Using nolisting" in out
 

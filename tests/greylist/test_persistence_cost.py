@@ -73,6 +73,29 @@ class TestPersistence:
         with pytest.raises(PersistenceError):
             load_store("not a snapshot", Clock())
 
+    def test_version_header_mismatch_rejected(self):
+        text = "# repro-greylist-db v2\n"
+        with pytest.raises(PersistenceError):
+            load_store(text, Clock())
+
+    def test_none_windows_fall_back_to_store_defaults(self):
+        clock, store = self._populated_store()
+        restored = load_store(dump_store(store), clock)
+        defaults = TripletStore(clock)
+        assert restored.retry_window == defaults.retry_window
+        assert restored.whitelist_lifetime == defaults.whitelist_lifetime
+
+    def test_explicit_windows_respected(self):
+        clock, store = self._populated_store()
+        restored = load_store(
+            dump_store(store),
+            clock,
+            retry_window=100.0,
+            whitelist_lifetime=500.0,
+        )
+        assert restored.retry_window == 100.0
+        assert restored.whitelist_lifetime == 500.0
+
     def test_malformed_line_rejected(self):
         text = FORMAT_HEADER + "\nonly three fields here\n"
         with pytest.raises(PersistenceError):

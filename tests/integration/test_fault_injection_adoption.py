@@ -1,0 +1,171 @@
+"""Fault injection vs the two-scan adoption pipeline (paper §IV.A).
+
+The paper repeats its DNS + SMTP measurement two months apart because a
+single scan cannot tell nolisting from a transient outage.  These tests
+plant the Figure 2 ground-truth mix, inject transient faults into both
+scans, and check that the single-scan ablation misclassifies domains the
+two-scan protocol recovers — and that injection preserves the parallel
+runner's bit-for-bit determinism.
+"""
+
+import pytest
+
+from repro.core.adoption import run_adoption_experiment
+from repro.faults import FaultConfig, FaultPlan
+from repro.scan.detect import DomainClass, NolistingDetector, summarize_single_scan
+from repro.scan.population import (
+    DomainCategory,
+    PopulationConfig,
+    SyntheticInternet,
+)
+from repro.scan.scanner import DNSScanner, SMTPScanner
+from repro.sim.rng import RandomStream
+
+NUM_DOMAINS = 2000
+SEED = 3
+FAULT_RATE = 0.02
+#: Double-hit probability at rate 0.02 is ~0.04% per entity, so two-scan
+#: residual misclassification stays within one percentage point.
+TOLERANCE = int(0.01 * NUM_DOMAINS)
+
+
+def _scan_pair_with_faults():
+    config = PopulationConfig(
+        num_domains=NUM_DOMAINS, transient_outage_rate=0.0
+    )
+    internet = SyntheticInternet(config, seed=SEED)
+    plan = FaultPlan(FaultConfig.uniform(FAULT_RATE, seed=SEED))
+    rng = RandomStream(SEED, "fault-integration")
+    dns_scanner = DNSScanner(
+        internet, glue_elision_rate=0.0, rng=rng, faults=plan
+    )
+    smtp_scanner = SMTPScanner(internet, faults=plan)
+    dns_a, dns_b = dns_scanner.scan(0), dns_scanner.scan(1)
+    smtp_a, smtp_b = smtp_scanner.scan(0), smtp_scanner.scan(1)
+    truth = {}
+    for domain in internet.domains:
+        truth[domain.category] = truth.get(domain.category, 0) + 1
+    return (dns_a, smtp_a, dns_b, smtp_b), truth, plan
+
+
+class TestTwoScanFilter:
+    def test_single_scan_misclassifies_two_scan_recovers(self):
+        (dns_a, smtp_a, dns_b, smtp_b), truth, plan = _scan_pair_with_faults()
+        assert plan.events["dns_servfail"] > 0
+        assert plan.events["host_down"] > 0
+
+        single = summarize_single_scan(dns_a, smtp_a)
+        two = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b).summarize()
+
+        truth_nolisting = truth[DomainCategory.NOLISTING]
+        truth_misconfigured = truth[DomainCategory.MISCONFIGURED]
+
+        # One scan alone: every transiently-down primary looks like
+        # nolisting and every resolver hiccup like a misconfiguration.
+        single_nolisting = single.counts[DomainClass.NOLISTING]
+        single_misconfigured = single.counts[DomainClass.DNS_MISCONFIGURED]
+        assert single_nolisting > truth_nolisting + TOLERANCE
+        assert single_misconfigured > truth_misconfigured + TOLERANCE
+
+        # The repeat-scan filter pulls every planted share back within
+        # tolerance — the measurement the paper actually reports.
+        for category, domain_class in (
+            (DomainCategory.NOLISTING, DomainClass.NOLISTING),
+            (DomainCategory.MISCONFIGURED, DomainClass.DNS_MISCONFIGURED),
+            (DomainCategory.SINGLE_MX, DomainClass.ONE_MX),
+            (DomainCategory.MULTI_MX, DomainClass.MULTI_MX_NO_NOLISTING),
+        ):
+            measured = two.counts[domain_class]
+            assert abs(measured - truth[category]) <= TOLERANCE, (
+                f"{domain_class}: measured {measured}, truth "
+                f"{truth[category]}"
+            )
+
+    def test_transient_failures_flag_domains_as_flapped(self):
+        (dns_a, smtp_a, dns_b, smtp_b), _, _ = _scan_pair_with_faults()
+        two = NolistingDetector(dns_a, smtp_a, dns_b, smtp_b).summarize()
+        assert two.flapped > 0  # faults made verdicts disagree across scans
+
+
+class TestExperimentWithFaults:
+    def test_end_to_end_confusion_within_tolerance(self):
+        result = run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            workers=1,
+        )
+        assert result.confusion["wrong"] <= TOLERANCE
+        baseline = run_adoption_experiment(
+            num_domains=NUM_DOMAINS, seed=SEED, workers=1
+        )
+        assert baseline.confusion["wrong"] == 0
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_count_invariant_with_faults(self, workers):
+        serial = run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            workers=1,
+        )
+        parallel = run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            workers=workers,
+        )
+        assert parallel.summary.counts == serial.summary.counts
+        assert parallel.summary.flapped == serial.summary.flapped
+        assert parallel.summary.servers_covered == serial.summary.servers_covered
+        assert parallel.repaired_mx_records == serial.repaired_mx_records
+        assert parallel.confusion == serial.confusion
+        assert (
+            parallel.crosscheck.ranked_adopters
+            == serial.crosscheck.ranked_adopters
+        )
+
+    def test_fault_seed_changes_draws_not_population(self):
+        a = run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            fault_seed=1,
+            workers=1,
+        )
+        b = run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            fault_seed=2,
+            workers=1,
+        )
+        assert a.ground_truth == b.ground_truth
+        assert a.summary.counts != b.summary.counts or (
+            a.summary.flapped != b.summary.flapped
+        )
+
+    def test_fault_free_cache_keys_unchanged(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(root=tmp_path, version="t")
+        run_adoption_experiment(
+            num_domains=NUM_DOMAINS, seed=SEED, workers=1, cache=cache
+        )
+        clean_stores = cache.stores
+        # Faulted runs key differently — no collision with clean entries.
+        run_adoption_experiment(
+            num_domains=NUM_DOMAINS,
+            seed=SEED,
+            fault_rate=FAULT_RATE,
+            workers=1,
+            cache=cache,
+        )
+        assert cache.stores == 2 * clean_stores
+        # And the clean run still hits every one of its original entries.
+        cache.misses = cache.hits = 0
+        run_adoption_experiment(
+            num_domains=NUM_DOMAINS, seed=SEED, workers=1, cache=cache
+        )
+        assert cache.misses == 0
+        assert cache.hits == clean_stores

@@ -36,6 +36,19 @@ class TestFixedInterval:
         with pytest.raises(ValueError):
             FixedIntervalSchedule(interval=0)
 
+    def test_attempt_exactly_at_max_queue_time_is_kept(self):
+        # Table IV semantics: an MTA whose queue lifetime is 4 h still
+        # makes the retry that lands exactly at the 4-hour mark — the
+        # give-up comparison in ``_expired`` is strict (>), not >=.
+        schedule = FixedIntervalSchedule(
+            interval=3600, max_queue_time=4 * 3600
+        )
+        times = schedule.attempt_times(10 * 3600)
+        assert times[-1] == 4 * 3600.0
+        assert times == [0.0, 3600.0, 7200.0, 10800.0, 14400.0]
+        # ... and the attempt after that is abandoned.
+        assert schedule.next_delay(5, 4 * 3600.0) is None
+
 
 class TestLinearBackoff:
     def test_growing_delays(self):

@@ -57,6 +57,63 @@ class TestResultCache:
         path.write_text("{truncated", encoding="utf-8")
         assert cache.get("exp", params) is None
 
+    def test_corrupt_file_quarantined_and_counted(self, cache):
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get("exp", params) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_text(encoding="utf-8") == "{truncated"
+
+    def test_quarantined_entry_not_reparsed(self, cache):
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text("not json", encoding="utf-8")
+        cache.get("exp", params)
+        assert cache.get("exp", params) is None  # plain miss the 2nd time
+        assert cache.corrupt == 1
+
+    def test_wrong_structure_quarantined(self, cache):
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text('["valid json, wrong shape"]', encoding="utf-8")
+        assert cache.get("exp", params) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_corrupt_event_logged(self, cache, caplog):
+        import logging
+
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text("xx", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            cache.get("exp", params)
+        assert any("cache_corrupt" in rec.message for rec in caplog.records)
+
+    def test_version_mismatch_not_quarantined(self, tmp_path):
+        old = ResultCache(root=tmp_path, version="v1")
+        path = old.put("exp", {"seed": 1}, "stale")
+        new = ResultCache(root=tmp_path, version="v2")
+        assert new.get("exp", {"seed": 1}) is None
+        assert new.corrupt == 0
+        assert path.exists()  # healthy file from other code, left alone
+
+    def test_missing_file_not_quarantined(self, cache):
+        assert cache.get("exp", {"seed": 404}) is None
+        assert cache.corrupt == 0
+
+    def test_rewritten_entry_usable_after_quarantine(self, cache):
+        params = {"seed": 9}
+        path = cache.put("exp", params, "ok")
+        path.write_text("xx", encoding="utf-8")
+        cache.get("exp", params)
+        cache.put("exp", params, "fresh")
+        assert cache.get("exp", params) == "fresh"
+
     def test_entry_file_is_inspectable_json(self, cache):
         path = cache.put("exp", {"seed": 4}, [1, 2])
         document = json.loads(path.read_text(encoding="utf-8"))

@@ -1,9 +1,17 @@
 """Unit tests for the process-pool task runner."""
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.runner.cache import ResultCache
-from repro.runner.pool import ExperimentRunner, effective_workers, run_tasks
+from repro.runner.pool import (
+    ExperimentRunner,
+    TaskFailure,
+    effective_workers,
+    run_tasks,
+)
 
 
 def square_task(payload):
@@ -12,6 +20,33 @@ def square_task(payload):
 
 def name_task(payload):
     return {"name": payload["name"].upper()}
+
+
+def flaky_task(payload):
+    """Fails the first time it sees its flag file missing, then succeeds.
+
+    The flag lives on disk so the failure is visible across the process
+    boundary: a pool worker's failed attempt primes the coordinator's
+    inline retry.
+    """
+    flag = Path(payload["flag"])
+    if not flag.exists():
+        flag.write_text("tripped", encoding="utf-8")
+        raise ValueError("transient task failure")
+    return payload["x"] * 10
+
+
+def always_failing_task(payload):
+    raise RuntimeError("deterministically broken")
+
+
+def crashing_task(payload):
+    """Hard-kills its worker process once (no exception, no cleanup)."""
+    flag = Path(payload["flag"])
+    if payload.get("crash") and not flag.exists():
+        flag.write_text("crashed", encoding="utf-8")
+        os._exit(1)
+    return payload["x"] + 100
 
 
 class TestEffectiveWorkers:
@@ -74,6 +109,55 @@ class TestRunTasks:
             experiment="sq",
         )
         assert results == [1, 4, 9]
+
+
+class TestFailureHandling:
+    def test_flaky_payload_retried_inline(self, tmp_path):
+        payloads = [{"x": 1, "flag": str(tmp_path / "f1")}]
+        assert run_tasks(flaky_task, payloads, workers=1) == [10]
+        assert (tmp_path / "f1").exists()
+
+    def test_flaky_payload_retried_after_pool_failure(self, tmp_path):
+        payloads = [
+            {"x": x, "flag": str(tmp_path / f"f{x}")} for x in range(4)
+        ]
+        (tmp_path / "f0").write_text("ok", encoding="utf-8")
+        (tmp_path / "f2").write_text("ok", encoding="utf-8")
+        results = run_tasks(flaky_task, payloads, workers=2)
+        assert results == [0, 10, 20, 30]
+
+    def test_persistent_failure_names_payload_index(self):
+        payloads = [{"x": 0}, {"x": 1}, {"x": 2}]
+        with pytest.raises(TaskFailure) as excinfo:
+            run_tasks(always_failing_task, payloads, workers=1)
+        assert excinfo.value.index == 0
+        assert "payload 0" in str(excinfo.value)
+
+    def test_persistent_failure_in_pool_names_payload_index(self, tmp_path):
+        payloads = [{"x": 0}, {"x": 1}, {"x": 2}]
+        with pytest.raises(TaskFailure) as excinfo:
+            run_tasks(always_failing_task, payloads, workers=2)
+        assert "payload" in str(excinfo.value)
+
+    def test_worker_crash_does_not_abort_the_sweep(self, tmp_path):
+        # One payload hard-kills its worker (os._exit): the pool breaks,
+        # every in-flight future fails, and the coordinator must still
+        # return a result for every payload by re-running inline.
+        payloads = [
+            {"x": x, "flag": str(tmp_path / "crash"), "crash": x == 1}
+            for x in range(5)
+        ]
+        results = run_tasks(crashing_task, payloads, workers=2)
+        assert results == [100, 101, 102, 103, 104]
+
+    def test_results_cached_after_recovery(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        payloads = [{"x": 7, "flag": str(tmp_path / "f7")}]
+        results = run_tasks(
+            flaky_task, payloads, workers=1, cache=cache, experiment="flaky"
+        )
+        assert results == [70]
+        assert cache.stores == 1
 
 
 class TestExperimentRunner:
