@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json scorecard examples all clean
+.PHONY: install test lint bench bench-json scorecard examples all clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Determinism/invariant linter always runs (stdlib-only); ruff and mypy run
+# when installed (CI installs them; the pinned local env may not have them).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+		then ruff check src tests benchmarks examples; \
+		else echo "ruff not installed; skipping"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
+		then $(PYTHON) -m mypy src/repro; \
+		else echo "mypy not installed; skipping"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

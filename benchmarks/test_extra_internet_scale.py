@@ -10,7 +10,6 @@ import pytest
 
 from repro.analysis.tables import format_percent, render_table
 from repro.core.internet_scale import (
-    run_internet_scale,
     sweep_deployment_rates,
 )
 

@@ -11,7 +11,7 @@ Run:  python examples/webmail_retry_audit.py
 
 from repro.analysis.tables import format_seconds
 from repro.core.reports import table3_text
-from repro.core.webmail_experiment import SIX_HOURS, run_webmail_experiment
+from repro.core.webmail_experiment import run_webmail_experiment
 from repro.webmail.providers import PROVIDER_BY_NAME
 
 

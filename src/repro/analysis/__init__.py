@@ -2,13 +2,6 @@
 
 from .cdf import EmpiricalCDF, ascii_cdf, ks_distance
 from .stats import Summary, fraction_within, histogram, summarize
-from .timeseries import (
-    WEEK,
-    TimeBin,
-    bin_events,
-    rate_series,
-    rate_stability,
-)
 from .tables import (
     CHECK,
     CROSS,
@@ -16,6 +9,13 @@ from .tables import (
     format_seconds,
     mark,
     render_table,
+)
+from .timeseries import (
+    WEEK,
+    TimeBin,
+    bin_events,
+    rate_series,
+    rate_stability,
 )
 
 __all__ = [

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.analysis`` — the determinism linter."""
+
+import sys
+
+from .lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""AST-based determinism & invariant linter (``python -m repro.analysis``).
+
+The repository's headline guarantee — bit-for-bit identical results
+across worker counts, cache hits and fault injection — rests on coding
+conventions; this subpackage enforces them statically.  See
+``docs/ARCHITECTURE.md`` § *Determinism contract* for the rule taxonomy
+and suppression syntax (``# repro: noqa RULE-ID``).
+
+* :mod:`~repro.analysis.lint.framework` — AST walker, checker registry,
+  noqa handling;
+* :mod:`~repro.analysis.lint.checkers` — the shipped rule suite;
+* :mod:`~repro.analysis.lint.baseline` — grandfathered-finding ratchet;
+* :mod:`~repro.analysis.lint.report` — human and JSON reporters;
+* :mod:`~repro.analysis.lint.cli` — the ``python -m repro.analysis``
+  front end.
+"""
+
+from .baseline import Baseline, BaselineError
+from .findings import Finding, Severity
+from .framework import (
+    Checker,
+    LintResult,
+    ModuleContext,
+    default_checkers,
+    lint_paths,
+    lint_source,
+)
+from .report import render_human, render_json
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Severity",
+    "default_checkers",
+    "lint_paths",
+    "lint_source",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,117 @@
+"""Baseline (grandfathered-findings) support for the determinism linter.
+
+A baseline lets the linter gate *new* violations while tolerating ones
+that predate a rule — the same ratchet model mypy and ruff users reach
+for when adopting a tool on an existing tree.  Entries match on
+``(rule, path, message)`` and deliberately ignore line numbers, so
+unrelated edits that shift code around do not resurrect grandfathered
+findings.  Matching is multiset-aware: a baseline with two entries for
+the same key tolerates at most two live findings of that key.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Counter as CounterType
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+_FORMAT_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file exists but cannot be understood."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    entries: CounterType[BaselineKey] = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(entries=Counter(f.baseline_key() for f in findings))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})") from error
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != _FORMAT_VERSION
+            or not isinstance(document.get("findings"), list)
+        ):
+            raise BaselineError(
+                f"{path}: expected a v{_FORMAT_VERSION} baseline document"
+            )
+        entries: CounterType[BaselineKey] = Counter()
+        for row in document["findings"]:
+            if not isinstance(row, dict):
+                raise BaselineError(f"{path}: malformed entry {row!r}")
+            try:
+                key = (str(row["rule"]), str(row["path"]), str(row["message"]))
+            except KeyError as error:
+                raise BaselineError(
+                    f"{path}: entry missing field {error}"
+                ) from error
+            entries[key] += int(row.get("count", 1))
+        return cls(entries=entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def write(self, path: Path) -> None:
+        rows: List[Dict[str, object]] = []
+        for (rule, module_path, message), count in sorted(self.entries.items()):
+            row: Dict[str, object] = {
+                "rule": rule,
+                "path": module_path,
+                "message": message,
+            }
+            if count != 1:
+                row["count"] = count
+            rows.append(row)
+        document = {"version": _FORMAT_VERSION, "findings": rows}
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, grandfathered)``.
+
+        Findings are consumed against the baseline multiset in order, so
+        with N grandfathered entries and N+1 live findings of the same
+        key, exactly one comes back as new.
+        """
+        budget = Counter(self.entries)
+        new: List[Finding] = []
+        known: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                known.append(finding)
+            else:
+                new.append(finding)
+        return new, known
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,49 @@
+"""The shipped checker suite.
+
+One module per invariant family; :func:`all_checkers` instantiates the
+full suite in rule-id order.  Adding a checker is: write the class,
+import it here, append it to :data:`CHECKER_CLASSES`, document the rule
+in ``docs/ARCHITECTURE.md`` § *Determinism contract*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..framework import Checker
+from .clock import WallClockRead
+from .defaults import MutableDefaultArgument
+from .exceptions import FaultSwallowingExcept
+from .ordering import UnorderedFloatSum, UnorderedIteration
+from .rng import DirectRandomUse, LiteralSeedStream
+from .slots import HotDataclassWithoutSlots
+
+CHECKER_CLASSES: List[Type[Checker]] = [
+    WallClockRead,          # CLK001
+    MutableDefaultArgument,  # DEF001
+    FaultSwallowingExcept,  # EXC001
+    UnorderedFloatSum,      # FLT001
+    UnorderedIteration,     # ORD001
+    DirectRandomUse,        # RNG001
+    LiteralSeedStream,      # SEED001
+    HotDataclassWithoutSlots,  # SLT001
+]
+
+
+def all_checkers() -> List[Checker]:
+    """A fresh instance of every registered checker."""
+    return [cls() for cls in CHECKER_CLASSES]
+
+
+__all__ = [
+    "CHECKER_CLASSES",
+    "all_checkers",
+    "DirectRandomUse",
+    "FaultSwallowingExcept",
+    "HotDataclassWithoutSlots",
+    "LiteralSeedStream",
+    "MutableDefaultArgument",
+    "UnorderedFloatSum",
+    "UnorderedIteration",
+    "WallClockRead",
+]

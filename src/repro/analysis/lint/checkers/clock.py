@@ -1,0 +1,61 @@
+"""``CLK001`` — wall-clock reads inside simulation code.
+
+The simulator runs on virtual time (:class:`repro.sim.clock.Clock`);
+reading the host's clock anywhere in a result-producing path makes runs
+unrepeatable and couples measured delays to machine speed.  The CLI
+boundary (``cli.py`` / ``__main__.py``) is exempt — wall-clock output
+like "run took 3.2s" is presentation, not measurement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..framework import Checker, ModuleContext, dotted_name
+
+#: ``(base, attr)`` call patterns that read the host clock.  Matching on
+#: the final two components catches both ``time.time()`` and
+#: ``datetime.datetime.now()`` spellings.
+WALL_CLOCK_CALLS = frozenset(
+    [
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    ]
+)
+
+
+class WallClockRead(Checker):
+    rule_id = "CLK001"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock read in simulation code; use the virtual Clock "
+        "(repro.sim.clock) — only the CLI may read host time"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and not ctx.is_cli
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[-2:] in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call `{'.'.join(chain)}()`; simulation code "
+                    "must read time from the shared virtual Clock",
+                    call=".".join(chain),
+                )

@@ -1,0 +1,75 @@
+"""``DEF001`` — mutable default arguments.
+
+A mutable default is evaluated once at function definition and shared by
+every call; state then leaks between calls (and, in this repository,
+between *experiments* sharing a process in the parallel runner), which is
+both a classic bug and a determinism hazard.  Use ``None`` plus an inside
+check, or ``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding, Severity
+from ..framework import Checker, ModuleContext
+
+#: Constructor calls whose result is mutable.
+_MUTABLE_CALLS = frozenset(
+    ["list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"]
+)
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    """Describe why a default expression is mutable, or ``None``."""
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        name = ""
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name in _MUTABLE_CALLS:
+            return f"{name}() call"
+    return None
+
+
+class MutableDefaultArgument(Checker):
+    rule_id = "DEF001"
+    severity = Severity.WARNING
+    description = (
+        "mutable default argument; evaluated once and shared across "
+        "calls — default to None or use field(default_factory=...)"
+    )
+    #: Shared-state bugs bite test helpers too; check everything.
+    skip_tests = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                reason = _mutable_default(default)
+                if reason is not None:
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument ({reason}) in "
+                        f"`{node.name}()`; it is shared across every call — "
+                        "use None and construct inside, or "
+                        "field(default_factory=...)",
+                        function=node.name,
+                    )

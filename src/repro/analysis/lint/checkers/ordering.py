@@ -1,0 +1,201 @@
+"""Iteration-order checkers.
+
+* ``ORD001`` — iterating a set (or sampling from a dict view) into an
+  order-sensitive sink.  Set iteration order depends on insertion history
+  and hash seeding; feeding it into RNG-consuming calls, ``list()``
+  materialization, loops or comprehensions makes results depend on memory
+  layout.  The sanctioned spelling is ``sorted(...)``.  This is exactly
+  the bug class behind the historical ``top_spam_tokens`` hash-order
+  dependence.
+* ``FLT001`` — ``sum()`` over a set-valued iterable.  Float addition is
+  not associative, so even a *stable* but unspecified order changes the
+  final bits between runs.  Use ``math.fsum`` (order-independent) or sum
+  a ``sorted(...)`` sequence.
+
+Both checkers share a conservative, scope-local dataflow: a name assigned
+a set expression counts as a set until it is reassigned to something
+else.  Attribute loads and cross-function flow are out of scope — the
+checkers aim for high-precision defaults that the baseline/noqa machinery
+can extend, not for soundness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set, Tuple
+
+from ..findings import Finding, Severity
+from ..framework import Checker, ModuleContext
+
+#: Calls that consume randomness (or an explicit order) from a sequence.
+SAMPLING_CALLS = frozenset(["sample", "choice", "choices", "shuffle"])
+
+#: Calls that materialize their argument's iteration order into a result.
+MATERIALIZING_CALLS = frozenset(["list", "tuple"])
+
+#: Set operators preserve unorderedness on either side.
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _scopes(tree: ast.AST) -> Iterator[Tuple[ast.AST, Sequence[ast.stmt]]]:
+    """Yield ``(scope node, body)`` for the module and every function."""
+    if isinstance(tree, ast.Module):
+        yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+class _SetTracker:
+    """Names bound to set expressions within one scope, in statement order."""
+
+    def __init__(self, body: Sequence[ast.stmt]) -> None:
+        self.set_names: Set[str] = set()
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        if self.is_set_expr(node.value):
+                            self.set_names.add(target.id)
+                        else:
+                            self.set_names.discard(target.id)
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        """Conservatively: does ``node`` evaluate to a set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values")
+        and not node.args
+    )
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+class UnorderedIteration(Checker):
+    rule_id = "ORD001"
+    severity = Severity.WARNING
+    description = (
+        "set/dict-view iteration feeding an order-sensitive sink "
+        "(loop, list(), sampling); wrap in sorted()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for _, body in _scopes(ctx.tree):
+            tracker = _SetTracker(body)
+            for statement in body:
+                for node in ast.walk(statement):
+                    yield from self._check_node(ctx, node, tracker, seen)
+
+    def _check_node(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        tracker: _SetTracker,
+        seen: Set[Tuple[int, int]],
+    ) -> Iterator[Finding]:
+        def emit(target: ast.AST, message: str) -> Iterator[Finding]:
+            marker = (
+                getattr(target, "lineno", 0),
+                getattr(target, "col_offset", -1),
+            )
+            if marker not in seen:
+                seen.add(marker)
+                yield self.finding(ctx, target, message)
+
+        if isinstance(node, ast.For) and tracker.is_set_expr(node.iter):
+            yield from emit(
+                node.iter,
+                "loop over a set; iteration order is unspecified — iterate "
+                "sorted(...) so downstream results cannot depend on hashing",
+            )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if tracker.is_set_expr(generator.iter):
+                    yield from emit(
+                        generator.iter,
+                        "comprehension over a set; iterate sorted(...) so the "
+                        "produced sequence has a defined order",
+                    )
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in MATERIALIZING_CALLS and len(node.args) == 1:
+                if tracker.is_set_expr(node.args[0]):
+                    yield from emit(
+                        node,
+                        f"{name}() materializes a set in arbitrary order; "
+                        "use sorted(...) instead",
+                    )
+            elif name in SAMPLING_CALLS:
+                for arg in node.args:
+                    if tracker.is_set_expr(arg) or _is_dict_view(arg):
+                        yield from emit(
+                            node,
+                            f"`{name}()` drawing from an unordered iterable; "
+                            "RNG-consuming calls need an explicitly ordered "
+                            "sequence (sorted(...))",
+                        )
+
+
+class UnorderedFloatSum(Checker):
+    rule_id = "FLT001"
+    severity = Severity.WARNING
+    description = (
+        "sum() over a set; float addition is order-sensitive — use "
+        "math.fsum or sum a sorted sequence"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for _, body in _scopes(ctx.tree):
+            tracker = _SetTracker(body)
+            for statement in body:
+                for node in ast.walk(statement):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id == "sum"
+                        and node.args
+                    ):
+                        continue
+                    arg = node.args[0]
+                    flagged = tracker.is_set_expr(arg)
+                    if not flagged and isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp)
+                    ):
+                        flagged = any(
+                            tracker.is_set_expr(generator.iter)
+                            for generator in arg.generators
+                        )
+                    marker = (node.lineno, node.col_offset)
+                    if flagged and marker not in seen:
+                        seen.add(marker)
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "sum() over a set accumulates floats in "
+                            "unspecified order; use math.fsum(...) or "
+                            "sum(sorted(...))",
+                        )

@@ -1,0 +1,110 @@
+"""RNG discipline checkers.
+
+* ``RNG001`` — the global :mod:`random` module is off-limits outside
+  ``sim/rng.py``: ambient RNG state is shared across components, so one
+  extra draw anywhere perturbs every later draw and breaks the
+  workers-1/2/4 bit-for-bit guarantee.  Components must split a private
+  :class:`~repro.sim.rng.RandomStream` instead.
+* ``SEED001`` — constructing ``RandomStream`` from a literal seed pins a
+  component to one fixed stream regardless of the experiment's ``--seed``,
+  which silently decouples it from seed sweeps and sensitivity runs.
+  Seeds must be threaded from the experiment payload (or the stream split
+  from a parent).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..framework import Checker, ModuleContext, dotted_name
+
+#: The one module allowed to touch :mod:`random` directly.
+RNG_MODULE = "sim/rng.py"
+
+
+class DirectRandomUse(Checker):
+    rule_id = "RNG001"
+    severity = Severity.ERROR
+    description = (
+        "direct use of the global `random` module outside sim/rng.py; "
+        "split a RandomStream instead"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and not ctx.is_module(RNG_MODULE)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of the global `random` module; derive "
+                            "randomness by splitting a RandomStream "
+                            "(repro.sim.rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from the global `random` module; derive "
+                        "randomness by splitting a RandomStream "
+                        "(repro.sim.rng)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain is not None and chain[0] == "random" and len(chain) > 1:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"use of `{'.'.join(chain)}`; draw from a split "
+                        "RandomStream instead of the shared global RNG",
+                    )
+
+
+class LiteralSeedStream(Checker):
+    rule_id = "SEED001"
+    severity = Severity.ERROR
+    description = (
+        "RandomStream built from a literal seed; thread the experiment "
+        "seed or split from a parent stream"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and not ctx.is_module(RNG_MODULE)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name != "RandomStream":
+                continue
+            seed_node: ast.AST | None = None
+            if node.args:
+                seed_node = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_node = keyword.value
+            if isinstance(seed_node, ast.Constant) and isinstance(
+                seed_node.value, int
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"RandomStream constructed from literal seed "
+                    f"{seed_node.value}; the stream is pinned regardless of "
+                    "the experiment seed — thread `seed` through, or split "
+                    "from a parent stream",
+                    seed=seed_node.value,
+                )

@@ -1,0 +1,85 @@
+"""``SLT001`` — hot-path dataclasses without ``__slots__``.
+
+The event scheduler (``sim/events.py``) and the per-packet network layer
+(``net/``, ``smtp/wire.py``) instantiate their dataclasses millions of
+times per experiment; PR 2's profiling showed per-instance ``__dict__``
+allocation dominating those loops.  Any dataclass defined in one of
+those hot modules must opt into ``slots=True`` (or declare ``__slots__``
+itself) so a new field cannot silently reintroduce the cost.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..framework import Checker, ModuleContext
+
+#: Subpackages whose classes are instantiated on per-event/per-packet paths.
+HOT_PACKAGES = ("sim", "net")
+
+#: Individual hot modules outside those packages.
+HOT_MODULES = ("smtp/wire.py",)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.AST | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _has_slots(node: ast.ClassDef, decorator: ast.AST) -> bool:
+    if isinstance(decorator, ast.Call):
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        if isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+class HotDataclassWithoutSlots(Checker):
+    rule_id = "SLT001"
+    severity = Severity.WARNING
+    description = (
+        "dataclass in a hot module (sim/, net/, smtp/wire.py) without "
+        "slots=True; per-instance __dict__ costs dominate event loops"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and (
+            ctx.in_package(*HOT_PACKAGES) or ctx.is_module(*HOT_MODULES)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _has_slots(node, decorator):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"dataclass `{node.name}` in a hot module lacks "
+                    "slots=True; instances on per-event/per-packet paths "
+                    "pay a __dict__ per object",
+                    cls=node.name,
+                )

@@ -1,0 +1,135 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit codes: ``0`` clean (or only grandfathered findings), ``1`` new
+findings, ``2`` usage or baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from .baseline import Baseline, BaselineError
+from .findings import Finding
+from .framework import default_checkers, lint_paths
+from .report import render_human, render_json, render_rules
+
+#: Baseline applied automatically when present in the working directory.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+
+def _parse_rules(raw: Optional[str]) -> Optional[Set[str]]:
+    if not raw:
+        return None
+    return {token for token in raw.replace(",", " ").split() if token}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based determinism & invariant linter for the repro "
+            "simulation codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule ids to run"
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    src = Path("src/repro")
+    if src.is_dir():
+        return [src]
+    return [Path(".")]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(render_rules(default_checkers()))
+        return 0
+
+    paths = list(options.paths) or _default_paths()
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        parser.error(f"no such path: {missing[0]}")
+
+    result = lint_paths(
+        paths,
+        select=_parse_rules(options.select),
+        ignore=_parse_rules(options.ignore),
+    )
+
+    baseline_path = options.baseline
+    if baseline_path is None and DEFAULT_BASELINE.is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    if options.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).write(target)
+        print(
+            f"wrote {len(result.findings)} finding(s) to baseline {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    grandfathered: List[Finding] = []
+    new = result.findings
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, BaselineError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        new, grandfathered = baseline.split(result.findings)
+
+    renderer = render_json if options.json else render_human
+    print(
+        renderer(
+            new,
+            grandfathered=grandfathered,
+            suppressed=result.suppressed,
+            files_checked=result.files_checked,
+        )
+    )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Finding and severity types for the determinism linter.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain data — checkers yield them, the framework filters them against
+inline suppressions and the baseline, and the reporters render them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Every severity gates the lint run (the exit code does not distinguish
+    them); the level is for human triage and for the JSON report.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one ``file:line``."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Optional free-form context (e.g. the offending name); JSON-able.
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used to match a finding against the baseline.
+
+        Deliberately excludes the line number: grandfathered findings stay
+        grandfathered when unrelated edits shift them up or down a file.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.extra:
+            document["extra"] = self.extra
+        return document
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.rule} [{self.severity}] {self.message}"

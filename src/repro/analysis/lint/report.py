@@ -1,0 +1,61 @@
+"""Human and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+
+
+def render_human(
+    findings: Sequence[Finding],
+    *,
+    grandfathered: Sequence[Finding] = (),
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> str:
+    """GCC-style ``file:line:col: RULE message`` listing plus a summary."""
+    lines: List[str] = [str(finding) for finding in findings]
+    total = len(findings)
+    summary = (
+        f"{total} finding{'s' if total != 1 else ''} "
+        f"in {files_checked} file{'s' if files_checked != 1 else ''}"
+    )
+    details: List[str] = []
+    if grandfathered:
+        details.append(f"{len(grandfathered)} grandfathered by baseline")
+    if suppressed:
+        details.append(f"{suppressed} suppressed inline")
+    if details:
+        summary += f" ({', '.join(details)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    grandfathered: Sequence[Finding] = (),
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> str:
+    """Machine-readable report (one JSON document, stable key order)."""
+    document: Dict[str, object] = {
+        "files_checked": files_checked,
+        "suppressed": suppressed,
+        "findings": [finding.to_json() for finding in findings],
+        "grandfathered": [finding.to_json() for finding in grandfathered],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rules(checkers: Sequence[object]) -> str:
+    """The ``--list-rules`` table: id, severity, one-line description."""
+    rows: List[str] = []
+    for checker in checkers:
+        rule = getattr(checker, "rule_id", "?")
+        severity = getattr(checker, "severity", None)
+        description: Optional[str] = getattr(checker, "description", None)
+        rows.append(f"{rule:<8} {str(severity):<8} {description or ''}")
+    return "\n".join(rows)

@@ -91,10 +91,10 @@ class SpamBot:
         The infected machine's IP.
     mx_behavior:
         Which MX hosts the bot contacts (family trait).
+    rng:
+        Bot-private randomness stream (split it from the experiment seed).
     retry_model:
         When/whether the bot retries deferred messages (family trait).
-    rng:
-        Bot-private randomness stream.
     helo_name:
         The (usually fake) HELO the bot announces.
     walks_mx_on_failure:
@@ -110,8 +110,8 @@ class SpamBot:
         scheduler: EventScheduler,
         source_address: IPv4Address,
         mx_behavior: MXBehavior,
+        rng: RandomStream,
         retry_model: Optional[BotRetryModel] = None,
-        rng: Optional[RandomStream] = None,
         helo_name: str = "dsl-pool-17.example.org",
         walks_mx_on_failure: bool = True,
     ) -> None:
@@ -121,7 +121,7 @@ class SpamBot:
         self.source_address = source_address
         self.mx_behavior = mx_behavior
         self.retry_model = retry_model if retry_model is not None else FireAndForget()
-        self.rng = rng if rng is not None else RandomStream(0, "bot")
+        self.rng = rng
         self.helo_name = helo_name
         self.walks_mx_on_failure = walks_mx_on_failure
         self.tasks: List[BotTask] = []

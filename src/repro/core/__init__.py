@@ -19,47 +19,6 @@ from .cost_attack import (
     compare_sweeping,
     run_cost_attack,
 )
-from .figure1 import Figure1Trace, figure1_text, run_figure1
-from .filter_comparison import (
-    FilterComparisonResult,
-    compare_filtering,
-    run_filter_comparison,
-)
-from .dialect_survey import (
-    DEFAULT_TRAFFIC_MIX,
-    DialectSurveyResult,
-    run_dialect_survey,
-)
-from .multimx_greylist import (
-    MultiMXResult,
-    compare_store_sharing,
-    run_multimx_experiment,
-)
-from .nolisting_impact import (
-    NolistingImpactResult,
-    SenderClassOutcome,
-    run_nolisting_impact,
-)
-from .internet_scale import (
-    InternetScaleResult,
-    run_internet_scale,
-    sweep_deployment_rates,
-)
-from .longterm import LongTermResult, run_longterm_analysis
-from .scorecard import ScorecardRow, build_scorecard, scorecard_text
-from .sensitivity import (
-    adoption_sensitivity,
-    deployment_sensitivity,
-    verdicts_seed_invariant,
-)
-from .variants import ALL_STRATEGIES, VariantResult, compare_variants
-from .synergy import (
-    SynergyResult,
-    run_synergy_comparison,
-    run_synergy_experiment,
-    sweep_greylist_delay,
-    sweep_listing_speed,
-)
 from .coverage import (
     PAPER_COMBINED_GLOBAL_SHARE,
     CoverageReport,
@@ -72,6 +31,17 @@ from .defense_matrix import (
     run_sample,
 )
 from .deployment import DeploymentExperimentResult, run_deployment_experiment
+from .dialect_survey import (
+    DEFAULT_TRAFFIC_MIX,
+    DialectSurveyResult,
+    run_dialect_survey,
+)
+from .figure1 import Figure1Trace, figure1_text, run_figure1
+from .filter_comparison import (
+    FilterComparisonResult,
+    compare_filtering,
+    run_filter_comparison,
+)
 from .greylist_experiment import (
     PAPER_THRESHOLDS,
     AttemptPoint,
@@ -79,8 +49,24 @@ from .greylist_experiment import (
     run_greylist_experiment,
     run_kelihos_threshold_sweep,
 )
+from .internet_scale import (
+    InternetScaleResult,
+    run_internet_scale,
+    sweep_deployment_rates,
+)
+from .longterm import LongTermResult, run_longterm_analysis
 from .mta_survey import MTARow, run_mta_survey, survey_mta
+from .multimx_greylist import (
+    MultiMXResult,
+    compare_store_sharing,
+    run_multimx_experiment,
+)
 from .mx_classifier import MXClassification, classify_sample, infer_behavior
+from .nolisting_impact import (
+    NolistingImpactResult,
+    SenderClassOutcome,
+    run_nolisting_impact,
+)
 from .reports import (
     figure2_text,
     figure3_text,
@@ -91,7 +77,21 @@ from .reports import (
     table3_text,
     table4_text,
 )
+from .scorecard import ScorecardRow, build_scorecard, scorecard_text
+from .sensitivity import (
+    adoption_sensitivity,
+    deployment_sensitivity,
+    verdicts_seed_invariant,
+)
+from .synergy import (
+    SynergyResult,
+    run_synergy_comparison,
+    run_synergy_experiment,
+    sweep_greylist_delay,
+    sweep_listing_speed,
+)
 from .testbed import Defense, ExemptingPolicy, Testbed, TestbedConfig
+from .variants import ALL_STRATEGIES, VariantResult, compare_variants
 from .webmail_experiment import (
     SIX_HOURS,
     WebmailRow,

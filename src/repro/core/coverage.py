@@ -14,8 +14,8 @@ from typing import Dict, Optional
 
 from ..botnet.families import (
     FAMILIES,
-    FamilyProfile,
     TOTAL_GLOBAL_SPAM_SHARE,
+    FamilyProfile,
     global_spam_share,
 )
 from .defense_matrix import DefenseMatrix, build_defense_matrix

@@ -17,7 +17,7 @@ flight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..analysis.cdf import EmpiricalCDF
 from ..botnet.bot import BotAttemptOutcome
@@ -80,7 +80,7 @@ class GreylistExperimentResult:
         relative to the greylisting threshold happens to fall.
         """
         gaps: List[float] = []
-        by_task: dict = {}
+        by_task: Dict[int, List[float]] = {}
         for point in self.attempt_points:
             by_task.setdefault(point.task_index, []).append(point.age)
         for ages in by_task.values():

@@ -16,7 +16,7 @@ implements the behaviours the paper's measurement pipeline depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..net.address import IPv4Address
 from ..sim.clock import Clock
@@ -107,7 +107,7 @@ class StubResolver:
         self._mx_cache: Dict[str, Tuple[float, List[MXRecord]]] = {}
         self.queries = 0
         self.cache_hits = 0
-        self._broken_zones: set = set()
+        self._broken_zones: Set[str] = set()
         #: chronological (qtype, name, answer-summary) triples of every
         #: authoritative query — the wire trace Figure 1 renders.
         self.query_log: List[Tuple[str, str, str]] = []

@@ -17,7 +17,6 @@ from .records import (
     ARecord,
     DNSRecordError,
     MXRecord,
-    RecordType,
     TXTRecord,
     normalize_name,
 )

@@ -119,7 +119,7 @@ class NaiveBayesFilter:
         spam_tokens = sum(self._spam_counts.values())
         ham_tokens = sum(self._ham_counts.values())
         scored = []
-        for token in vocabulary:
+        for token in vocabulary:  # repro: noqa ORD001 - scored is fully sorted below
             p_spam = (self._spam_counts.get(token, 0) + self.smoothing) / (
                 spam_tokens + self.smoothing * v
             )

@@ -7,6 +7,7 @@ from .cost import (
     GreylistCostReport,
     measure_cost,
 )
+from .keying import KeyStrategy, derive_key, resists_sender_rotation
 from .persistence import (
     FORMAT_HEADER,
     PersistenceError,
@@ -15,7 +16,6 @@ from .persistence import (
     save_compacted,
     snapshot_size_bytes,
 )
-from .keying import KeyStrategy, derive_key, resists_sender_rotation
 from .policy import (
     DEFAULT_DELAY,
     GreylistAction,

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .policy import GreylistAction, GreylistPolicy
 from .persistence import snapshot_size_bytes
+from .policy import GreylistAction, GreylistPolicy
 
 #: Bytes on the wire for one deferred delivery attempt: TCP handshake
 #: overhead aside, banner + EHLO + MAIL + RCPT + 450 reply + teardown.

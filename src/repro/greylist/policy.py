@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..net.address import IPv4Address
 from ..sim.clock import Clock
@@ -119,8 +119,8 @@ class GreylistPolicy(ConnectionPolicy):
             key_strategy = KeyStrategy.CLIENT_NET_TRIPLET
         self.key_strategy = key_strategy
         self.events: List[GreylistEvent] = []
-        self._client_passes: dict = {}
-        self._auto_whitelisted: set = set()
+        self._client_passes: Dict[IPv4Address, int] = {}
+        self._auto_whitelisted: Set[IPv4Address] = set()
 
     # ------------------------------------------------------------------
     # Key normalization

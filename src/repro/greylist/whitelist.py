@@ -10,7 +10,7 @@ HELO-name suffix.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Set
 
 from ..net.address import IPv4Address, IPv4Network
 from ..smtp.message import domain_of
@@ -20,9 +20,9 @@ class Whitelist:
     """A composite allow-list consulted before greylisting applies."""
 
     def __init__(self) -> None:
-        self._addresses: set = set()
+        self._addresses: Set[IPv4Address] = set()
         self._networks: List[IPv4Network] = []
-        self._sender_domains: set = set()
+        self._sender_domains: Set[str] = set()
         self._helo_suffixes: List[str] = []
 
     # ------------------------------------------------------------------

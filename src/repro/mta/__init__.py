@@ -3,8 +3,8 @@
 from .profiles import (
     PROFILE_ORDER,
     PROFILES,
-    MTAProfile,
     RFC_MIN_GIVEUP_DAYS,
+    MTAProfile,
     build_profiles,
     rfc_compliant_lifetime,
 )

@@ -60,7 +60,7 @@ class IPv4Address:
         return f"IPv4Address('{self}')"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IPv4Network:
     """A CIDR network (``base/prefix``)."""
 

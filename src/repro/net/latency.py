@@ -7,7 +7,7 @@ lets ablations check that results are latency-insensitive.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..sim.rng import RandomStream
 from .address import IPv4Address
@@ -58,7 +58,7 @@ class JitteredLatency(LatencyModel):
         self._rng = rng
         self._base = base_seconds
         self._jitter = jitter_seconds
-        self._cache: dict = {}
+        self._cache: Dict[Tuple[int, int], float] = {}
 
     def rtt(self, source: IPv4Address, destination: IPv4Address) -> float:
         key = (source.value, destination.value)

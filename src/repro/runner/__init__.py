@@ -14,9 +14,9 @@ shards in an on-disk JSON cache so repeated sweeps skip work already done.
   sweep, one grid point of a what-if sweep, one scorecard section).
 """
 
+from . import shards  # noqa: F401 — task functions for worker processes
 from .cache import ResultCache, canonical_params, default_cache_root
 from .pool import ExperimentRunner, TaskFailure, effective_workers, run_tasks
-from . import shards  # noqa: F401 — task functions for worker processes
 
 __all__ = [
     "ExperimentRunner",

@@ -44,14 +44,33 @@ class TaskFailure(RuntimeError):
     """A payload failed even after its inline retry.
 
     Carries the payload ``index`` so a long sweep's error points at the
-    exact grid point that died, not just at :func:`run_tasks`.
+    exact grid point that died, not just at :func:`run_tasks`.  The
+    exception chains from the *first* attempt's error (``__cause__``), so
+    the traceback that reaches the user shows where the failure
+    originally happened; the retry's error stays reachable as
+    :attr:`retry_error`.
     """
 
-    def __init__(self, index: int, cause: BaseException) -> None:
-        super().__init__(
-            f"payload {index} failed twice (original error: {cause!r})"
-        )
+    def __init__(
+        self,
+        index: int,
+        cause: BaseException,
+        retry_error: Optional[BaseException] = None,
+    ) -> None:
+        message = f"payload {index} failed twice (original error: {cause!r})"
+        if retry_error is not None and repr(retry_error) != repr(cause):
+            message += f"; retry raised {retry_error!r}"
+        super().__init__(message)
         self.index = index
+        self.retry_error = retry_error
+
+
+#: What a *worker crash* — as opposed to the task's own logic — surfaces
+#: at ``Future.result()``: the pool marks itself broken, or the IPC pipe
+#: to the dead process fails mid-transfer.  These are environmental, so
+#: the payload deserves a clean inline re-run (retry included); anything
+#: else is the task's own exception and gets exactly one more attempt.
+WORKER_CRASH_ERRORS = (BrokenProcessPool, OSError, EOFError)
 
 
 def effective_workers(workers: Optional[int]) -> int:
@@ -129,13 +148,24 @@ def run_tasks(
                 for index, future in futures.items():
                     try:
                         results[index] = future.result()
-                    except (Exception, BrokenProcessPool) as error:
-                        # A raising task — or a worker that died outright,
-                        # which breaks the pool and fails every in-flight
-                        # future.  Either way the sweep survives: the
-                        # payload is re-run inline below.
+                    except WORKER_CRASH_ERRORS as error:
+                        # The worker died outright (os._exit, OOM kill):
+                        # the pool breaks and every in-flight future fails.
+                        # The sweep survives — the payload is re-run
+                        # inline below.
                         logger.warning(
-                            "worker failed on payload %d (%r); retrying "
+                            "worker crashed on payload %d (%r); retrying "
+                            "inline",
+                            index,
+                            error,
+                        )
+                        failed.append(index)
+                    except Exception as error:
+                        # The task itself raised.  It may still be flaky
+                        # (first-touch initialization races, transient
+                        # I/O), so the inline path gives it its retry.
+                        logger.warning(
+                            "task failed on payload %d (%r); retrying "
                             "inline",
                             index,
                             error,
@@ -165,7 +195,7 @@ def _run_one(fn: TaskFn, payloads: Sequence[Dict[str, Any]], index: int) -> Any:
         try:
             return fn(payloads[index])
         except Exception as second:
-            raise TaskFailure(index, second) from second
+            raise TaskFailure(index, first, retry_error=second) from first
 
 
 @dataclass

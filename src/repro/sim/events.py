@@ -43,7 +43,9 @@ class _Entry:
 
     __slots__ = ("when", "seq", "callback", "label", "cancelled")
 
-    def __init__(self, when: float, seq: int, callback: EventCallback, label: str):
+    def __init__(
+        self, when: float, seq: int, callback: EventCallback, label: str
+    ) -> None:
         self.when = when
         self.seq = seq
         self.callback = callback

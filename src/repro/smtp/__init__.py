@@ -16,17 +16,6 @@ from .dialects import (
     extract_features,
     play_dialect,
 )
-from .spf_policy import SPFEvent, SPFPolicy
-from .wire import (
-    Command,
-    CommandSyntaxError,
-    SessionTranscript,
-    TranscribingSession,
-    TranscriptEntry,
-    parse_command,
-    render_mail_from,
-    render_rcpt_to,
-)
 from .message import (
     AddressSyntaxError,
     Envelope,
@@ -43,6 +32,17 @@ from .server import (
     SessionState,
     SMTPServer,
     SMTPSession,
+)
+from .spf_policy import SPFEvent, SPFPolicy
+from .wire import (
+    Command,
+    CommandSyntaxError,
+    SessionTranscript,
+    TranscribingSession,
+    TranscriptEntry,
+    parse_command,
+    render_mail_from,
+    render_rcpt_to,
 )
 
 __all__ = [

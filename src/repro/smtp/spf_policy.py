@@ -10,7 +10,7 @@ the full pre-acceptance battery of a 2015 mail server.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
 from ..dns.spf import SPFEvaluator, SPFResult
 from ..net.address import IPv4Address
@@ -58,8 +58,8 @@ class SPFPolicy(ConnectionPolicy):
             )
         return PolicyDecision.ok()
 
-    def result_counts(self) -> dict:
-        counts: dict = {}
+    def result_counts(self) -> Dict[SPFResult, int]:
+        counts: Dict[SPFResult, int] = {}
         for event in self.events:
             counts[event.result] = counts.get(event.result, 0) + 1
         return counts

@@ -37,7 +37,7 @@ class CommandSyntaxError(ValueError):
     """Raised for command lines the parser cannot make sense of."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """One parsed SMTP command line."""
 
@@ -136,7 +136,7 @@ def render_rcpt_to(recipient: str, bracketed: bool = True) -> str:
     return f"RCPT TO:{path}"
 
 
-@dataclass
+@dataclass(slots=True)
 class TranscriptEntry:
     """One exchange in a session transcript."""
 
@@ -148,7 +148,7 @@ class TranscriptEntry:
         return f"{self.timestamp:10.3f} {self.direction}: {self.line}"
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionTranscript:
     """Full wire record of one SMTP session.
 

@@ -19,7 +19,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ..net.address import AddressPool, IPv4Address
 from ..sim.events import EventScheduler
@@ -159,7 +159,7 @@ class WebmailDelivery:
             provider=self.spec, delivered=False, attempts=0
         )
         submitted_at = self.scheduler.now
-        used_ips: set = set()
+        used_ips: Set[IPv4Address] = set()
 
         def attempt(number: int) -> None:
             if outcome.delivered:

@@ -1,0 +1,398 @@
+"""Positive and negative snippets for every determinism-linter rule."""
+
+import textwrap
+
+from repro.analysis.lint import lint_source
+
+
+def lint(source, module_path="core/example.py", **kwargs):
+    return lint_source(textwrap.dedent(source), module_path, **kwargs)
+
+
+def rules_at(result):
+    """``[(rule, line), ...]`` for compact assertions."""
+    return [(f.rule, f.line) for f in result.findings]
+
+
+class TestRNG001:
+    def test_import_random_flagged(self):
+        result = lint(
+            """\
+            import random
+
+            def pick():
+                return random.choice([1, 2, 3])
+            """
+        )
+        assert ("RNG001", 1) in rules_at(result)
+        assert ("RNG001", 4) in rules_at(result)
+
+    def test_from_random_import_flagged(self):
+        result = lint("from random import choice\n")
+        assert rules_at(result) == [("RNG001", 1)]
+
+    def test_random_attribute_chain_flagged(self):
+        result = lint("value = random.Random(7).random()\n")
+        assert ("RNG001", 1) in rules_at(result)
+
+    def test_rng_module_itself_exempt(self):
+        result = lint("import random\n", module_path="sim/rng.py")
+        assert result.findings == []
+
+    def test_tests_exempt(self):
+        result = lint("import random\n", is_tests=True)
+        assert result.findings == []
+
+    def test_split_stream_clean(self):
+        result = lint(
+            """\
+            def pick(rng):
+                return rng.split("pick").choice([1, 2, 3])
+            """
+        )
+        assert result.findings == []
+
+
+class TestSEED001:
+    def test_literal_positional_seed_flagged(self):
+        result = lint("stream = RandomStream(42, \"bot\")\n")
+        assert rules_at(result) == [("SEED001", 1)]
+
+    def test_literal_keyword_seed_flagged(self):
+        result = lint("stream = RandomStream(seed=0)\n")
+        assert rules_at(result) == [("SEED001", 1)]
+
+    def test_threaded_seed_clean(self):
+        result = lint(
+            """\
+            def build(seed):
+                return RandomStream(seed, "experiment")
+            """
+        )
+        assert result.findings == []
+
+    def test_tests_exempt(self):
+        result = lint("stream = RandomStream(0)\n", is_tests=True)
+        assert result.findings == []
+
+
+class TestCLK001:
+    def test_time_time_flagged(self):
+        result = lint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules_at(result) == [("CLK001", 4)]
+
+    def test_datetime_now_flagged(self):
+        result = lint(
+            """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert rules_at(result) == [("CLK001", 4)]
+
+    def test_cli_exempt(self):
+        result = lint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module_path="cli.py",
+        )
+        assert result.findings == []
+
+    def test_virtual_clock_clean(self):
+        result = lint(
+            """\
+            def stamp(clock):
+                return clock.now
+            """
+        )
+        assert result.findings == []
+
+
+class TestORD001:
+    def test_loop_over_set_flagged(self):
+        result = lint(
+            """\
+            def walk(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """
+        )
+        assert rules_at(result) == [("ORD001", 3)]
+
+    def test_list_of_set_flagged(self):
+        result = lint(
+            """\
+            def snapshot(items):
+                seen = {x for x in items}
+                return list(seen)
+            """
+        )
+        assert rules_at(result) == [("ORD001", 3)]
+
+    def test_sampling_from_dict_view_flagged(self):
+        result = lint(
+            """\
+            def pick(rng, table):
+                return rng.choice(table.keys())
+            """
+        )
+        assert rules_at(result) == [("ORD001", 2)]
+
+    def test_comprehension_over_set_flagged(self):
+        result = lint(
+            """\
+            def labels(hosts):
+                alive = set(hosts)
+                return [h.name for h in alive]
+            """
+        )
+        assert rules_at(result) == [("ORD001", 3)]
+
+    def test_sorted_set_clean(self):
+        result = lint(
+            """\
+            def walk(items):
+                pending = set(items)
+                for item in sorted(pending):
+                    print(item)
+            """
+        )
+        assert result.findings == []
+
+    def test_reassigned_name_not_tracked(self):
+        result = lint(
+            """\
+            def walk(items):
+                pending = set(items)
+                pending = sorted(pending)
+                for item in pending:
+                    print(item)
+            """
+        )
+        assert result.findings == []
+
+
+class TestFLT001:
+    def test_sum_over_set_flagged(self):
+        result = lint(
+            """\
+            def total(values):
+                bag = set(values)
+                return sum(bag)
+            """
+        )
+        assert rules_at(result) == [("FLT001", 3)]
+
+    def test_sum_generator_over_set_flagged(self):
+        result = lint(
+            """\
+            def total(rows):
+                keys = set(rows)
+                return sum(r.weight for r in keys)
+            """
+        )
+        # The generator over the set is also an unordered iteration.
+        assert ("FLT001", 3) in rules_at(result)
+
+    def test_sum_sorted_clean(self):
+        result = lint(
+            """\
+            def total(values):
+                bag = set(values)
+                return sum(sorted(bag))
+            """
+        )
+        assert result.findings == []
+
+
+class TestDEF001:
+    def test_list_literal_default_flagged(self):
+        result = lint(
+            """\
+            def collect(item, into=[]):
+                into.append(item)
+                return into
+            """
+        )
+        assert rules_at(result) == [("DEF001", 1)]
+
+    def test_dict_call_default_flagged(self):
+        result = lint("def build(options=dict()):\n    return options\n")
+        assert rules_at(result) == [("DEF001", 1)]
+
+    def test_kwonly_default_flagged(self):
+        result = lint("def build(*, options={}):\n    return options\n")
+        assert rules_at(result) == [("DEF001", 1)]
+
+    def test_checked_even_in_tests(self):
+        result = lint("def helper(acc=[]):\n    return acc\n", is_tests=True)
+        assert rules_at(result) == [("DEF001", 1)]
+
+    def test_none_default_clean(self):
+        result = lint(
+            """\
+            def collect(item, into=None):
+                into = [] if into is None else into
+                into.append(item)
+                return into
+            """
+        )
+        assert result.findings == []
+
+
+class TestEXC001:
+    def test_bare_except_flagged(self):
+        result = lint(
+            """\
+            def deliver(send):
+                try:
+                    send()
+                except:
+                    pass
+            """
+        )
+        assert rules_at(result) == [("EXC001", 4)]
+
+    def test_broad_except_swallow_flagged(self):
+        result = lint(
+            """\
+            def deliver(send):
+                try:
+                    send()
+                except Exception:
+                    pass
+            """
+        )
+        assert rules_at(result) == [("EXC001", 4)]
+
+    def test_reraise_clean(self):
+        result = lint(
+            """\
+            def deliver(send):
+                try:
+                    send()
+                except Exception:
+                    raise
+            """
+        )
+        assert result.findings == []
+
+    def test_counter_increment_clean(self):
+        result = lint(
+            """\
+            def deliver(self, send):
+                try:
+                    send()
+                except Exception:
+                    self.errors += 1
+            """
+        )
+        assert result.findings == []
+
+    def test_logging_clean(self):
+        result = lint(
+            """\
+            def deliver(send, logger):
+                try:
+                    send()
+                except Exception as error:
+                    logger.warning("delivery failed: %r", error)
+            """
+        )
+        assert result.findings == []
+
+    def test_narrow_except_clean(self):
+        result = lint(
+            """\
+            def deliver(send):
+                try:
+                    send()
+                except ValueError:
+                    pass
+            """
+        )
+        assert result.findings == []
+
+
+class TestSLT001:
+    def test_hot_dataclass_without_slots_flagged(self):
+        result = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Packet:
+                src: int
+                dst: int
+            """,
+            module_path="net/packet.py",
+        )
+        assert rules_at(result) == [("SLT001", 4)]
+
+    def test_slots_true_clean(self):
+        result = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class Packet:
+                src: int
+                dst: int
+            """,
+            module_path="net/packet.py",
+        )
+        assert result.findings == []
+
+    def test_manual_dunder_slots_clean(self):
+        result = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Packet:
+                __slots__ = ("src",)
+                src: int
+            """,
+            module_path="sim/things.py",
+        )
+        assert result.findings == []
+
+    def test_cold_module_exempt(self):
+        result = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Row:
+                value: float
+            """,
+            module_path="core/reports.py",
+        )
+        assert result.findings == []
+
+    def test_smtp_wire_is_hot(self):
+        result = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Command:
+                verb: str
+            """,
+            module_path="smtp/wire.py",
+        )
+        assert rules_at(result) == [("SLT001", 4)]

@@ -1,0 +1,254 @@
+"""Framework behaviour: suppression, baseline, reporters, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    Finding,
+    Severity,
+    lint_paths,
+    lint_source,
+    render_human,
+    render_json,
+)
+from repro.analysis.lint.baseline import BaselineError
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.framework import PARSE_RULE, module_path_for
+
+SNIPPET_WITH_SET_LOOP = """\
+def walk(items):
+    pending = set(items)
+    for item in pending:
+        print(item)
+"""
+
+
+def finding(rule="ORD001", path="core/example.py", line=3, message="msg"):
+    return Finding(
+        rule=rule,
+        severity=Severity.WARNING,
+        path=path,
+        line=line,
+        col=1,
+        message=message,
+    )
+
+
+class TestNoqaSuppression:
+    def test_rule_specific_noqa_suppresses(self):
+        source = SNIPPET_WITH_SET_LOOP.replace(
+            "for item in pending:",
+            "for item in pending:  # repro: noqa ORD001",
+        )
+        result = lint_source(source, "core/example.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_noqa_with_trailing_prose(self):
+        source = SNIPPET_WITH_SET_LOOP.replace(
+            "for item in pending:",
+            "for item in pending:  # repro: noqa ORD001 - sorted downstream",
+        )
+        result = lint_source(source, "core/example.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = SNIPPET_WITH_SET_LOOP.replace(
+            "for item in pending:",
+            "for item in pending:  # repro: noqa",
+        )
+        result = lint_source(source, "core/example.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_other_rule_noqa_keeps_finding(self):
+        source = SNIPPET_WITH_SET_LOOP.replace(
+            "for item in pending:",
+            "for item in pending:  # repro: noqa CLK001",
+        )
+        result = lint_source(source, "core/example.py")
+        assert [f.rule for f in result.findings] == ["ORD001"]
+        assert result.suppressed == 0
+
+    def test_plain_python_noqa_is_not_ours(self):
+        source = SNIPPET_WITH_SET_LOOP.replace(
+            "for item in pending:",
+            "for item in pending:  # noqa",
+        )
+        result = lint_source(source, "core/example.py")
+        assert [f.rule for f in result.findings] == ["ORD001"]
+
+
+class TestParseFailure:
+    def test_syntax_error_becomes_parse_finding(self):
+        result = lint_source("def broken(:\n", "core/broken.py")
+        assert [f.rule for f in result.findings] == [PARSE_RULE]
+        assert result.findings[0].severity is Severity.ERROR
+
+
+class TestBaseline:
+    def test_split_partitions_new_and_known(self):
+        known = finding(message="old")
+        fresh = finding(message="new")
+        baseline = Baseline.from_findings([known])
+        new, grandfathered = baseline.split([known, fresh])
+        assert new == [fresh]
+        assert grandfathered == [known]
+
+    def test_multiset_semantics(self):
+        f = finding()
+        baseline = Baseline.from_findings([f, f])
+        new, grandfathered = baseline.split([f, f, f])
+        assert len(grandfathered) == 2
+        assert len(new) == 1
+
+    def test_line_number_shift_still_grandfathered(self):
+        baseline = Baseline.from_findings([finding(line=3)])
+        new, grandfathered = baseline.split([finding(line=90)])
+        assert new == []
+        assert len(grandfathered) == 1
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_findings([finding(), finding(), finding(rule="CLK001")])
+        baseline.write(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        assert len(loaded) == 3
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def test_human_report_lists_location_and_summary(self):
+        result = lint_source(SNIPPET_WITH_SET_LOOP, "core/example.py")
+        text = render_human(
+            result.findings, files_checked=result.files_checked
+        )
+        assert "core/example.py:3" in text
+        assert "ORD001" in text
+        assert "1 finding in 1 file" in text
+
+    def test_human_report_counts_suppressions(self):
+        text = render_human([], suppressed=2, files_checked=5)
+        assert "0 findings in 5 files (2 suppressed inline)" in text
+
+    def test_json_report_is_parseable(self):
+        result = lint_source(SNIPPET_WITH_SET_LOOP, "core/example.py")
+        document = json.loads(
+            render_json(result.findings, files_checked=result.files_checked)
+        )
+        assert document["files_checked"] == 1
+        assert document["findings"][0]["rule"] == "ORD001"
+        assert document["findings"][0]["line"] == 3
+
+
+class TestModulePaths:
+    def test_src_layout_normalized(self):
+        assert module_path_for(Path("src/repro/sim/rng.py")) == "sim/rng.py"
+
+    def test_installed_layout_normalized(self):
+        assert module_path_for(Path("repro/net/host.py")) == "net/host.py"
+
+    def test_outside_tree_keeps_name(self):
+        assert module_path_for(Path("scripts/tool.py")) == "tool.py"
+
+
+class TestLintPaths:
+    def test_directory_walk_finds_violations(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import random\n")
+        (package / "good.py").write_text("VALUE = 1\n")
+        result = lint_paths([tmp_path])
+        assert [f.rule for f in result.findings] == ["RNG001"]
+        assert result.findings[0].path == "core/bad.py"
+        assert result.files_checked == 2
+
+    def test_test_files_skipped_for_scoped_rules(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_thing.py").write_text("import random\n")
+        result = lint_paths([tmp_path])
+        assert result.findings == []
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+        assert "bad.py:1" in out
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--select", "CLK001"]) == 0
+
+    def test_ignore_skips_rule(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--ignore", "RNG001"]) == 0
+
+    def test_baseline_grandfathers_then_gates(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main([str(bad), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        assert main([str(bad), "--baseline", str(baseline)]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+        bad.write_text("import random\nfrom random import choice\n")
+        assert main([str(bad), "--baseline", str(baseline)]) == 1
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("VALUE = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert main([str(bad), "--baseline", str(baseline)]) == 2
+
+    def test_json_flag_emits_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["findings"][0]["rule"] == "RNG001"
+
+    def test_list_rules_mentions_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "RNG001",
+            "SEED001",
+            "CLK001",
+            "ORD001",
+            "FLT001",
+            "DEF001",
+            "EXC001",
+            "SLT001",
+        ):
+            assert rule in out

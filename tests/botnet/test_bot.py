@@ -1,7 +1,5 @@
 """Unit tests for the spam-bot engine against live and defended servers."""
 
-import pytest
-
 from repro.botnet.behavior import MXBehavior
 from repro.botnet.bot import BotAttemptOutcome, SpamBot
 from repro.botnet.retry import EmpiricalRetryModel, FireAndForget, RetryMode

@@ -3,6 +3,7 @@ and the textual table/figure reproductions."""
 
 import pytest
 
+from repro.core.adoption import run_adoption_experiment
 from repro.core.coverage import (
     PAPER_COMBINED_GLOBAL_SHARE,
     build_coverage_report,
@@ -21,7 +22,6 @@ from repro.core.reports import (
     table3_text,
     table4_text,
 )
-from repro.core.adoption import run_adoption_experiment
 from repro.core.webmail_experiment import run_webmail_experiment
 from repro.greylist.whitelist import default_provider_whitelist
 
@@ -100,8 +100,8 @@ class TestReports:
         matrix = build_defense_matrix(recipients=2)
         text = table2_text(matrix)
         assert "Kelihos/sample6" in text
-        lines = [l for l in text.splitlines() if "Kelihos/" in l]
-        assert all("no" in l and "YES" in l for l in lines)
+        lines = [line for line in text.splitlines() if "Kelihos/" in line]
+        assert all("no" in line and "YES" in line for line in lines)
 
     def test_table3_text(self):
         text = table3_text(run_webmail_experiment())

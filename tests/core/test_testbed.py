@@ -1,7 +1,5 @@
 """Unit tests for the instrumented testbed and the exempting policy."""
 
-import pytest
-
 from repro.core.testbed import (
     Defense,
     ExemptingPolicy,

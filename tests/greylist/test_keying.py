@@ -1,7 +1,5 @@
 """Unit tests for greylisting key strategies."""
 
-import pytest
-
 from repro.greylist.keying import (
     KeyStrategy,
     derive_key,

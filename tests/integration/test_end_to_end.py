@@ -5,9 +5,7 @@ import pytest
 from repro.botnet.campaign import CommandAndControl, SpamCampaign, make_recipient_list
 from repro.botnet.families import CUTWAIL, DARKMAILER, KELIHOS
 from repro.core.testbed import Defense, Testbed, TestbedConfig
-from repro.dns.nolisting import setup_single_mx
 from repro.dns.resolver import StubResolver
-from repro.greylist.policy import GreylistPolicy
 from repro.greylist.whitelist import default_provider_whitelist
 from repro.mta.profiles import PROFILES
 from repro.mta.queue import QueueEntryState, QueueManager

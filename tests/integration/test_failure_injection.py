@@ -5,7 +5,6 @@ outages, host flaps and mid-experiment breakage into the substrates and
 check the system degrades the way the components promise.
 """
 
-import pytest
 
 from repro.botnet.families import DARKMAILER, KELIHOS
 from repro.core.testbed import Defense, Testbed, TestbedConfig

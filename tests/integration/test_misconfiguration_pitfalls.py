@@ -4,7 +4,6 @@ Greylisting's parameters interact with sender retry schedules; these tests
 pin down the failure modes an operator must avoid.
 """
 
-import pytest
 
 from repro.core.testbed import Defense, Testbed, TestbedConfig
 from repro.dns.resolver import StubResolver

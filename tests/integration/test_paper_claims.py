@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis.cdf import ks_distance
 from repro.botnet.families import CUTWAIL, KELIHOS
+from repro.botnet.samples import samples_of
 from repro.core.adoption import run_adoption_experiment
 from repro.core.coverage import build_coverage_report
 from repro.core.defense_matrix import build_defense_matrix, run_sample
@@ -18,7 +19,6 @@ from repro.core.greylist_experiment import run_greylist_experiment
 from repro.core.mta_survey import run_mta_survey
 from repro.core.testbed import Defense
 from repro.core.webmail_experiment import run_webmail_experiment
-from repro.botnet.samples import samples_of
 from repro.scan.detect import DomainClass
 
 

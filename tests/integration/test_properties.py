@@ -1,11 +1,11 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.cdf import EmpiricalCDF, ks_distance
-from repro.dns.records import MXRecord
 from repro.dns.mxutil import sort_mx
+from repro.dns.records import MXRecord
 from repro.greylist.policy import GreylistPolicy
 from repro.greylist.store import TripletStore
 from repro.greylist.triplet import Triplet

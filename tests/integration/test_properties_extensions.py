@@ -19,7 +19,7 @@ localparts = st.text(
 domains = st.sampled_from(
     ["x.net", "mail.example", "corp.example", "a.b.example"]
 )
-emails = st.builds(lambda l, d: f"{l}@{d}", localparts, domains)
+emails = st.builds(lambda local, dom: f"{local}@{dom}", localparts, domains)
 
 
 class TestKeyingProperties:

@@ -1,7 +1,5 @@
 """Unit tests for the outbound queue manager driving retries."""
 
-import pytest
-
 from repro.dns.nolisting import setup_single_mx
 from repro.dns.resolver import StubResolver
 from repro.dns.zone import ZoneStore

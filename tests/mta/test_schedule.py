@@ -4,7 +4,6 @@ import pytest
 
 from repro.mta.schedule import (
     DAY,
-    MINUTE,
     FixedIntervalSchedule,
     GeometricBackoffSchedule,
     GiveUpAfterSchedule,

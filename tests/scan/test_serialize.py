@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.adoption import run_adoption_experiment
 from repro.scan.detect import NolistingDetector
 from repro.scan.population import PopulationConfig, SyntheticInternet
 from repro.scan.scanner import DNSScanner, SMTPScanner
@@ -51,7 +50,7 @@ class TestDNSScanRoundtrip:
 
     def test_malformed_line_rejected(self):
         with pytest.raises(ScanFormatError):
-            load_dns_scan(f"# repro-dns-scan v1\nonlyonefield\n")
+            load_dns_scan("# repro-dns-scan v1\nonlyonefield\n")
 
     def test_unknown_status_rejected(self):
         with pytest.raises(ScanFormatError):

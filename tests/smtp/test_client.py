@@ -8,10 +8,10 @@ from repro.dns.zone import ZoneStore
 from repro.net.address import IPv4Address, pool_for
 from repro.net.network import VirtualInternet
 from repro.sim.clock import Clock
+from repro.smtp import replies
 from repro.smtp.client import AttemptOutcome, SMTPClient
 from repro.smtp.message import Message
 from repro.smtp.server import ConnectionPolicy, PolicyDecision, SMTPServer
-from repro.smtp import replies
 
 SOURCE = IPv4Address.parse("203.0.113.10")
 

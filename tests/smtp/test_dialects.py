@@ -7,7 +7,6 @@ from repro.sim.clock import Clock
 from repro.smtp.dialects import (
     COMPLIANT_MTA,
     CUTWAIL_DIALECT,
-    DARKMAILER_DIALECT,
     DIALECT_BY_NAME,
     KELIHOS_DIALECT,
     KNOWN_DIALECTS,

@@ -7,7 +7,6 @@ from repro.sim.clock import Clock
 from repro.smtp.message import Message
 from repro.smtp.server import SMTPServer
 from repro.smtp.wire import (
-    Command,
     CommandSyntaxError,
     TranscribingSession,
     parse_command,

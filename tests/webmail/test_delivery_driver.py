@@ -1,7 +1,5 @@
 """Unit tests for the WebmailDelivery driver itself."""
 
-import pytest
-
 from repro.core.testbed import Defense, Testbed, TestbedConfig
 from repro.dns.resolver import StubResolver
 from repro.net.address import AddressPool, IPv4Network
