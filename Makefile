@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json scorecard examples all clean
+.PHONY: install test lint bench bench-json profile scorecard examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,13 @@ BENCH_DATE := $(shell date +%Y%m%d)
 bench-json:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_$(BENCH_DATE).json
+
+# Profile any CLI command under cProfile (report on stderr, artefact on
+# stdout).  Override PROFILE_CMD to profile a different experiment, e.g.
+#   make profile PROFILE_CMD="internet-scale --domains 50000"
+PROFILE_CMD ?= adoption --domains 2000
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro --profile $(PROFILE_CMD)
 
 scorecard:
 	$(PYTHON) -m repro scorecard

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON snapshot against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_0.json bench-smoke.json
+
+Benchmarks shared by both files are compared by their fastest observed
+time (``stats.min``, the least noise-sensitive statistic).  Raw ratios
+are meaningless across machines, so every ratio is first normalized by
+the median ratio — a uniformly slower CI runner shifts all ratios
+equally and cancels out, while a genuine regression in one benchmark
+stands out against the rest.
+
+The gate fails (exit 1) when any normalized ratio exceeds 1.25, i.e. a
+benchmark got more than 25% slower *relative to the suite*.  To land an
+intentional slowdown (e.g. trading speed for correctness), set
+``ALLOW_BENCH_REGRESSION=1`` in the environment — the check then prints
+its findings but always exits 0 — and refresh the baseline in the same
+change (``make bench-json`` and commit the snapshot as ``BENCH_0.json``).
+
+Stdlib-only, so it runs anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+from typing import Dict
+
+THRESHOLD = 1.25
+
+
+def load_minimums(path: str) -> Dict[str, float]:
+    """Map benchmark fullname -> fastest observed time, from one snapshot."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["fullname"]: float(bench["stats"]["min"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    baseline = load_minimums(baseline_path)
+    current = load_minimums(current_path)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(
+            f"no benchmarks shared between {baseline_path} and "
+            f"{current_path}; nothing to compare",
+            file=sys.stderr,
+        )
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = statistics.median(ratios.values())
+    print(
+        f"comparing {len(shared)} shared benchmark(s); "
+        f"machine-speed scale (median ratio) = {scale:.3f}"
+    )
+
+    regressions = []
+    for name in shared:
+        normalized = ratios[name] / scale
+        marker = " <-- REGRESSION" if normalized > THRESHOLD else ""
+        print(
+            f"  {name}: {baseline[name] * 1e3:.3f}ms -> "
+            f"{current[name] * 1e3:.3f}ms "
+            f"(normalized x{normalized:.2f}){marker}"
+        )
+        if normalized > THRESHOLD:
+            regressions.append(name)
+
+    if not regressions:
+        print(
+            f"OK: no benchmark more than {THRESHOLD - 1:.0%} over baseline"
+        )
+        return 0
+
+    print(
+        f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+        f"{THRESHOLD - 1:.0%} vs {baseline_path}: {', '.join(regressions)}",
+        file=sys.stderr,
+    )
+    if os.environ.get("ALLOW_BENCH_REGRESSION"):
+        print(
+            "ALLOW_BENCH_REGRESSION is set; reporting only. "
+            "Refresh BENCH_0.json in this change.",
+            file=sys.stderr,
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

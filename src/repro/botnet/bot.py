@@ -42,6 +42,52 @@ class BotAttemptOutcome(enum.Enum):
     DNS_FAILED = "dns-failed"
 
 
+def _negative_outcome(reply) -> BotAttemptOutcome:
+    return (
+        BotAttemptOutcome.DEFERRED
+        if reply.is_transient_failure
+        else BotAttemptOutcome.REJECTED
+    )
+
+
+def drive_dialogue(session, message: Message, recipient: str, helo_name: str):
+    """Drive the bot dialect of the SMTP dialogue against one session.
+
+    Returns ``(outcome, reply_code, transcript)``; the transcript is the
+    replayable wire exchange.  This is the exact dialogue a
+    :class:`SpamBot` speaks, factored out so the batch engine can drive
+    one *real* session per equivalence class and cache the result.
+    """
+    transcript = [f"S: {session.banner}"]
+    if not session.banner.is_positive:
+        return (
+            _negative_outcome(session.banner),
+            session.banner.code,
+            tuple(transcript),
+        )
+    steps = (
+        (f"HELO {helo_name}", lambda: session.helo(helo_name)),
+        (
+            f"MAIL FROM:<{message.sender}>",
+            lambda: session.mail_from(message.sender),
+        ),
+        (f"RCPT TO:<{recipient}>", lambda: session.rcpt_to(recipient)),
+    )
+    for command, send in steps:
+        reply = send()
+        transcript.append(f"C: {command}")
+        transcript.append(f"S: {reply}")
+        if not reply.is_positive:
+            # Bots typically drop the connection without QUIT.
+            return _negative_outcome(reply), reply.code, tuple(transcript)
+    reply = session.data(message)
+    transcript.append("C: DATA")
+    transcript.append(f"S: {reply}")
+    if reply.is_positive:
+        return BotAttemptOutcome.DELIVERED, reply.code, tuple(transcript)
+    return _negative_outcome(reply), reply.code, tuple(transcript)
+
+
 @dataclass
 class BotAttempt:
     """One delivery attempt by the bot for one (message, recipient)."""
@@ -64,6 +110,10 @@ class BotTask:
     delivered: bool = False
     abandoned: bool = False
     task_id: int = field(default_factory=lambda: next(_task_ids))
+    #: Task-private randomness (retry-delay draws).  When ``None`` the bot
+    #: falls back to its shared stream; experiments that batch over
+    #: messages pass one stream per message so tasks stay independent.
+    rng: Optional[RandomStream] = None
 
     @property
     def attempt_count(self) -> int:
@@ -129,14 +179,21 @@ class SpamBot:
     # ------------------------------------------------------------------
     # Job intake (called by the C&C)
     # ------------------------------------------------------------------
-    def assign(self, message: Message) -> List[BotTask]:
-        """Accept a spam job; one task per recipient, attempted immediately."""
+    def assign(
+        self, message: Message, rng: Optional[RandomStream] = None
+    ) -> List[BotTask]:
+        """Accept a spam job; one task per recipient, attempted immediately.
+
+        ``rng``, when given, becomes the tasks' private retry-randomness
+        stream — the per-message decoupling the batch engine relies on.
+        """
         created: List[BotTask] = []
         for recipient in message.recipients:
             task = BotTask(
                 message=message,
                 recipient=recipient,
                 created_at=self.scheduler.now,
+                rng=rng,
             )
             self.tasks.append(task)
             created.append(task)
@@ -232,38 +289,14 @@ class SpamBot:
 
     def _dialogue(self, session, message: Message, recipient: str):
         """Minimal bot dialect of the SMTP dialogue."""
-        if not session.banner.is_positive:
-            return (
-                BotAttemptOutcome.DEFERRED
-                if session.banner.is_transient_failure
-                else BotAttemptOutcome.REJECTED,
-                session.banner.code,
-            )
-        for reply in (
-            session.helo(self.helo_name),
-            session.mail_from(message.sender),
-            session.rcpt_to(recipient),
-        ):
-            if not reply.is_positive:
-                # Bots typically drop the connection without QUIT.
-                return (
-                    BotAttemptOutcome.DEFERRED
-                    if reply.is_transient_failure
-                    else BotAttemptOutcome.REJECTED,
-                    reply.code,
-                )
-        reply = session.data(message)
-        if reply.is_positive:
-            return BotAttemptOutcome.DELIVERED, reply.code
-        return (
-            BotAttemptOutcome.DEFERRED
-            if reply.is_transient_failure
-            else BotAttemptOutcome.REJECTED,
-            reply.code,
+        outcome, reply_code, _ = drive_dialogue(
+            session, message, recipient, self.helo_name
         )
+        return outcome, reply_code
 
     def _after_failure(self, task: BotTask) -> None:
-        delay = self.retry_model.next_delay(task.attempt_count, self.rng)
+        rng = task.rng if task.rng is not None else self.rng
+        delay = self.retry_model.next_delay(task.attempt_count, rng)
         if delay is None:
             task.abandoned = True
             return

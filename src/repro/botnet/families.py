@@ -52,6 +52,15 @@ class FamilyProfile:
     def retries(self) -> bool:
         return not isinstance(self.retry_factory(), FireAndForget)
 
+    @property
+    def helo_name(self) -> str:
+        """The family's HELO string — its SMTP dialect identity.
+
+        Also the dialect component of the batch engine's session-playbook
+        cache keys, so it must stay a pure function of the family.
+        """
+        return f"{self.name.lower()}-bot.invalid.example"
+
     def build_bot(
         self,
         internet: VirtualInternet,
@@ -69,7 +78,7 @@ class FamilyProfile:
             mx_behavior=self.mx_behavior,
             retry_model=self.retry_factory(),
             rng=rng,
-            helo_name=f"{self.name.lower()}-bot.invalid.example",
+            helo_name=self.helo_name,
             walks_mx_on_failure=self.walks_mx_on_failure,
         )
 

@@ -48,8 +48,51 @@ def _cmd_adoption(args: argparse.Namespace) -> int:
         cache=cache,
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
+        engine=args.engine,
     )
     print(figure2_text(result))
+    return 0
+
+
+def _cmd_internet_scale(args: argparse.Namespace) -> int:
+    from .core.internet_scale import sweep_deployment_rates
+
+    cache = None
+    if args.cache:
+        from .runner.cache import ResultCache
+
+        cache = ResultCache()
+    results = sweep_deployment_rates(
+        messages=args.messages,
+        seed=args.seed,
+        workers=args.workers,
+        cache=cache,
+        num_domains=args.domains,
+        engine=args.engine,
+    )
+    print(
+        render_table(
+            headers=(
+                "Greylisting",
+                "Nolisting",
+                "Blocked",
+                "Predicted",
+            ),
+            rows=[
+                (
+                    format_percent(r.greylisting_rate),
+                    format_percent(r.nolisting_rate),
+                    format_percent(r.block_rate),
+                    format_percent(r.predicted_block_rate),
+                )
+                for r in results
+            ],
+            title=(
+                f"Spam blocked as deployment grows "
+                f"({args.domains} domains, {args.engine} engine)"
+            ),
+        )
+    )
     return 0
 
 
@@ -306,11 +349,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for fault draws (default: --seed)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the command under cProfile and print the top 25 "
+            "functions by cumulative time to stderr"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also dump raw cProfile stats to FILE for offline analysis "
+            "(pstats/snakeviz); implies --profile"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("adoption", help="Figure 2: nolisting adoption scan")
     p.add_argument("--domains", type=int, default=20000)
+    p.add_argument(
+        "--engine",
+        choices=("object", "batch"),
+        default="object",
+        help="shard implementation: per-object simulation or batch engine",
+    )
     p.set_defaults(func=_cmd_adoption)
+
+    p = sub.add_parser(
+        "internet-scale",
+        help="what-if deployment sweep at internet scale",
+    )
+    p.add_argument("--domains", type=int, default=50000)
+    p.add_argument("--messages", type=int, default=400)
+    p.add_argument(
+        "--engine",
+        choices=("object", "batch"),
+        default="batch",
+        help="per-object simulation or equivalence-class batch engine",
+    )
+    p.set_defaults(func=_cmd_internet_scale)
 
     p = sub.add_parser("defenses", help="Table II + coverage headline")
     p.add_argument("--recipients", type=int, default=3)
@@ -359,9 +439,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run the selected command under cProfile.
+
+    The report goes to stderr so the experiment artefact on stdout stays
+    clean (and diffable against unprofiled runs).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = profiler.runcall(args.func, args)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(25)
+    sys.stderr.write(buffer.getvalue())
+    if args.profile_out is not None:
+        stats.dump_stats(args.profile_out)
+        sys.stderr.write(f"raw profile written to {args.profile_out}\n")
+    return int(status)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile or args.profile_out is not None:
+        return _run_profiled(args)
     return args.func(args)
 
 

@@ -28,7 +28,6 @@ from ..scan.alexa import (
     PAPER_NOLISTING_RANKS,
     PopularityCrossCheck,
     crosscheck_from_ranks,
-    plant_ranks,
 )
 from ..scan.detect import AdoptionSummary, DomainClass
 from ..scan.population import (
@@ -74,12 +73,18 @@ def run_adoption_experiment(
     cache: Optional[ResultCache] = None,
     fault_rate: float = 0.0,
     fault_seed: Optional[int] = None,
+    engine: str = "object",
 ) -> AdoptionExperimentResult:
     """Run the full adoption measurement end to end.
 
     ``workers`` fans the population's chunks over that many processes
     (``0`` means one per CPU); results are identical for any value.
     ``cache`` memoizes completed chunks on disk.
+
+    ``engine`` selects the shard implementation: ``"object"`` builds and
+    scans the full synthetic world per chunk; ``"batch"`` collapses each
+    chunk into outcome equivalence classes (see :mod:`repro.scan.batch`)
+    and produces bit-identical results at a fraction of the cost.
 
     ``fault_rate`` turns on measurement-infrastructure faults: each scan
     additionally suffers host outages, port-25 flaps and DNS
@@ -88,6 +93,8 @@ def run_adoption_experiment(
     per scan from ``fault_seed`` (default: ``seed``).  This exercises the
     transient failures the paper's two-scan protocol exists to filter.
     """
+    if engine not in ("object", "batch"):
+        raise ValueError(f"unknown adoption engine {engine!r}")
     if config is None:
         config = PopulationConfig(
             num_domains=num_domains,
@@ -96,8 +103,8 @@ def run_adoption_experiment(
     plan = PopulationPlan(config, seed)
     if plant_popular:
         needed = len(PAPER_NOLISTING_RANKS)
-        if len(plan.domains_in(DomainCategory.NOLISTING)) >= needed:
-            plant_ranks(plan.domains)
+        if plan.count_in(DomainCategory.NOLISTING) >= needed:
+            plan.plant(PAPER_NOLISTING_RANKS)
 
     from ..runner.shards import adoption_shard_task
 
@@ -119,6 +126,9 @@ def run_adoption_experiment(
             # Only present when enabled, so fault-free runs keep hitting
             # cache entries written before faults existed.
             **({"faults": faults} if faults is not None else {}),
+            # Same reasoning: object-path payloads stay byte-identical to
+            # their pre-batch-engine cache keys.
+            **({"engine": engine} if engine != "object" else {}),
         }
         for chunk in range(plan.num_chunks)
     ]

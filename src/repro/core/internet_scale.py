@@ -16,21 +16,23 @@ answering "what if adoption grew?" by sweeping the deployment rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..botnet.behavior import defeats_nolisting
+from ..botnet.behavior import MXBehavior, defeats_nolisting
 from ..botnet.families import FAMILIES, FamilyProfile
+from ..botnet.retry import FireAndForget
 from ..dns.nolisting import setup_nolisting, setup_single_mx
 from ..dns.resolver import StubResolver
 from ..dns.zone import ZoneStore
 from ..greylist.policy import GreylistPolicy
 from ..net.address import AddressPool, IPv4Network
 from ..net.network import VirtualInternet
+from ..sim.batch import BatchCounters, SessionOutcomeCache
 from ..sim.clock import Clock
 from ..sim.events import EventScheduler
 from ..sim.rng import RandomStream
 from ..smtp.message import Message
-from ..smtp.server import SMTPServer
+from ..smtp.server import ConnectionPolicy, SMTPServer
 
 
 @dataclass
@@ -84,10 +86,38 @@ def run_internet_scale(
     greylist_delay: float = 300.0,
     seed: int = 61,
     horizon: float = 400000.0,
+    engine: str = "object",
+    session_cache: Optional[SessionOutcomeCache] = None,
+    counters: Optional[BatchCounters] = None,
 ) -> InternetScaleResult:
-    """Run one spam wave through a mixed-deployment internet."""
+    """Run one spam wave through a mixed-deployment internet.
+
+    ``engine="object"`` simulates every DNS lookup, connection and SMTP
+    dialogue on the event scheduler; ``engine="batch"`` collapses the wave
+    into (family x deployment) equivalence classes, drives one *real*
+    session per class (memoized in ``session_cache``, a
+    :class:`~repro.sim.batch.SessionOutcomeCache`) and replays only the
+    per-message retry-delay draws — producing the identical result.
+    ``counters``, a :class:`~repro.sim.batch.BatchCounters`, is filled
+    with the batched run's collapse accounting when given; both knobs are
+    ignored by the object engine.
+    """
+    if engine not in ("object", "batch"):
+        raise ValueError(f"unknown internet-scale engine {engine!r}")
     if not 0.0 <= greylisting_rate + nolisting_rate <= 1.0:
         raise ValueError("deployment rates must sum to at most 1")
+    if engine == "batch":
+        return _run_internet_scale_batched(
+            num_domains=num_domains,
+            greylisting_rate=greylisting_rate,
+            nolisting_rate=nolisting_rate,
+            messages=messages,
+            greylist_delay=greylist_delay,
+            seed=seed,
+            horizon=horizon,
+            session_cache=session_cache,
+            counters=counters,
+        )
     rng = RandomStream(seed, "internet-scale")
     scheduler = EventScheduler(Clock())
     internet = VirtualInternet()
@@ -139,11 +169,15 @@ def run_internet_scale(
         family = FAMILIES[mix_rng.weighted_index(weights)]
         domain = target_rng.choice(domains)
         per_family_sent[family.name] += 1
+        # One private retry-randomness stream per message: tasks stay
+        # independent of scheduler interleaving, which is what lets the
+        # batch engine replay them without running the event loop.
         bots[family.name].assign(
             Message(
                 sender=f"spam{index}@botnet.example",
                 recipients=[f"user{index % 17}@{domain}"],
-            )
+            ),
+            rng=rng.split(f"msg:{index}"),
         )
 
     scheduler.run(until=horizon)
@@ -151,6 +185,23 @@ def run_internet_scale(
     per_family_delivered = {
         name: len(bot.delivered_tasks) for name, bot in bots.items()
     }
+    return _assemble_result(
+        num_domains,
+        greylisting_rate,
+        nolisting_rate,
+        per_family_sent,
+        per_family_delivered,
+    )
+
+
+def _assemble_result(
+    num_domains: int,
+    greylisting_rate: float,
+    nolisting_rate: float,
+    per_family_sent: Dict[str, int],
+    per_family_delivered: Dict[str, int],
+) -> InternetScaleResult:
+    """Fold per-family tallies into the result (shared by both engines)."""
     # Normalize the analytic prediction over the *sent* mix.
     total_sent = sum(per_family_sent.values())
     predicted = sum(
@@ -173,31 +224,193 @@ def run_internet_scale(
     )
 
 
+#: Deployment kinds a receiver domain can be in (disjoint in this model).
+_PLAIN, _NOLISTED, _GREYLISTED = "plain", "nolisted", "greylisted"
+
+
+def _run_internet_scale_batched(
+    num_domains: int,
+    greylisting_rate: float,
+    nolisting_rate: float,
+    messages: int,
+    greylist_delay: float,
+    seed: int,
+    horizon: float,
+    session_cache: Optional[SessionOutcomeCache] = None,
+    counters: Optional[BatchCounters] = None,
+) -> InternetScaleResult:
+    """The equivalence-class engine behind ``engine="batch"``.
+
+    Replays the object path's deployment, family-mix and target draws
+    verbatim, then resolves each message through a memoized session
+    playbook instead of the event loop:
+
+    * a nolisted target blocks primary-only senders at the TCP layer (no
+      session exists to cache) and is an open door for everyone else;
+    * a plain target delivers on the first real dialogue;
+    * a greylisted target defers the first attempt, after which the
+      family's *real* retry model — fed by the same ``msg:{index}``
+      private stream the object path's task uses — decides arithmetically
+      whether some retry lands at triplet age >= the threshold before the
+      horizon or the attempt budget runs out.
+
+    Soundness: retry draws are task-private, greylist triplets are unique
+    per message (unique senders), and no other state couples messages, so
+    outcomes depend only on (family, deployment kind, retry-draw stream) —
+    which is exactly what is replayed.
+    """
+    from ..sim.batch import EquivalenceClassIndex
+    from .playbooks import build_playbook
+
+    cache = session_cache if session_cache is not None else SessionOutcomeCache()
+    misses_before = cache.misses
+    classes: EquivalenceClassIndex = EquivalenceClassIndex()
+
+    rng = RandomStream(seed, "internet-scale")
+
+    # --- replay of the deployment draws (one uniform roll per domain) ----
+    deploy_rng = rng.split("deployments")
+    deployments: List[str] = []
+    for _ in range(num_domains):
+        roll = deploy_rng.random()
+        if roll < nolisting_rate:
+            deployments.append(_NOLISTED)
+        elif roll < nolisting_rate + greylisting_rate:
+            deployments.append(_GREYLISTED)
+        else:
+            deployments.append(_PLAIN)
+
+    # Policy fingerprints for the cache keys (identical to the ones the
+    # object path's servers would expose).
+    open_fp = ConnectionPolicy().fingerprint()
+    grey_fp = GreylistPolicy(clock=Clock(), delay=greylist_delay).fingerprint()
+
+    weights = [family.botnet_spam_share for family in FAMILIES]
+    mix_rng = rng.split("mix")
+    target_rng = rng.split("targets")
+    domain_indices = range(num_domains)
+    per_family_sent: Dict[str, int] = {f.name: 0 for f in FAMILIES}
+    per_family_delivered: Dict[str, int] = {f.name: 0 for f in FAMILIES}
+
+    for index in range(messages):
+        family = FAMILIES[mix_rng.weighted_index(weights)]
+        # choice() draws depend only on the sequence length, so picking an
+        # index replays the object path's pick of the name list exactly.
+        target = target_rng.choice(domain_indices)
+        deployment = deployments[target]
+        per_family_sent[family.name] += 1
+        classes.add((family.name, deployment), index)
+
+        if deployment == _NOLISTED:
+            if family.mx_behavior is MXBehavior.PRIMARY_ONLY:
+                # Dead primary, and this family never walks to the live
+                # secondary: every attempt is a refused connection.
+                continue
+            deployment_fp = open_fp
+        elif deployment == _PLAIN:
+            deployment_fp = open_fp
+        else:
+            deployment_fp = grey_fp
+
+        if deployment != _GREYLISTED:
+            playbook = cache.get_or_build(
+                (family.helo_name, deployment_fp, "open"),
+                lambda f=family: build_playbook(f.helo_name),
+            )
+            if playbook.delivered:
+                per_family_delivered[family.name] += 1
+            continue
+
+        first = cache.get_or_build(
+            (family.helo_name, grey_fp, "new"),
+            lambda f=family: build_playbook(
+                f.helo_name,
+                greylist_delay=greylist_delay,
+                greylist_phase="new",
+            ),
+        )
+        if first.delivered:
+            per_family_delivered[family.name] += 1
+            continue
+        if not first.deferred:
+            continue  # permanent rejection: the bot abandons immediately
+        model = family.retry_factory()
+        if isinstance(model, FireAndForget):
+            continue  # one shot, already deferred
+        task_rng = rng.split(f"msg:{index}")
+        t = 0.0
+        attempts = 1
+        while True:
+            delay = model.next_delay(attempts, task_rng)
+            if delay is None:
+                break  # attempt budget exhausted: abandoned
+            t += delay
+            if t > horizon:
+                break  # the retry never fires within the run
+            attempts += 1
+            phase = "passed" if t >= greylist_delay else "early"
+            retry = cache.get_or_build(
+                (family.helo_name, grey_fp, phase),
+                lambda f=family, p=phase: build_playbook(
+                    f.helo_name,
+                    greylist_delay=greylist_delay,
+                    greylist_phase=p,
+                ),
+            )
+            if retry.delivered:
+                per_family_delivered[family.name] += 1
+                break
+            if not retry.deferred:
+                break
+
+    if counters is not None:
+        counters.members += classes.num_members
+        counters.classes += classes.num_classes
+        counters.representative_runs += cache.misses - misses_before
+
+    return _assemble_result(
+        num_domains,
+        greylisting_rate,
+        nolisting_rate,
+        per_family_sent,
+        per_family_delivered,
+    )
+
+
 def sweep_deployment_rates(
     rates: List[tuple] = None,
     messages: int = 300,
     seed: int = 61,
     workers: int = 1,
     cache=None,
+    num_domains: int = 60,
+    engine: str = "object",
 ) -> List[InternetScaleResult]:
     """Block rate as deployment grows — the "what if adoption rose" curve.
 
     Each (greylisting, nolisting) grid point is an independent simulation,
     so the sweep fans them over ``workers`` processes; ``cache`` memoizes
-    completed points across invocations.
+    completed points across invocations.  ``engine="batch"`` runs each
+    point on the equivalence-class engine — identical results, and the
+    only practical way to push ``num_domains`` to internet scale.
     """
     from ..runner.pool import run_tasks
     from ..runner.shards import internet_scale_task
 
+    if engine not in ("object", "batch"):
+        raise ValueError(f"unknown internet-scale engine {engine!r}")
     if rates is None:
         rates = [(0.0, 0.0), (0.2, 0.05), (0.5, 0.1), (0.8, 0.2)]
     payloads = [
         {
-            "num_domains": 60,
+            "num_domains": num_domains,
             "greylisting_rate": grey,
             "nolisting_rate": nolist,
             "messages": messages,
             "seed": seed,
+            # Only present when batching, so object-path payloads keep
+            # their pre-batch-engine cache identity.
+            **({"engine": engine} if engine != "object" else {}),
         }
         for (grey, nolist) in rates
     ]

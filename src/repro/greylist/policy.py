@@ -122,6 +122,23 @@ class GreylistPolicy(ConnectionPolicy):
         self._client_passes: Dict[IPv4Address, int] = {}
         self._auto_whitelisted: Set[IPv4Address] = set()
 
+    def fingerprint(self) -> tuple:
+        """Decision-function identity for the session-outcome cache.
+
+        Includes every knob that changes a reply: the delay threshold (the
+        cache's "threshold bucket"), the keying variant, the network
+        prefix and the auto-whitelist setting.  Store *contents* are
+        deliberately absent — they are per-triplet state, which the batch
+        engine encodes as the session's greylist phase (new/early/passed).
+        """
+        return (
+            "greylist",
+            self.delay,
+            self.key_strategy.value,
+            self.network_prefix,
+            self.auto_whitelist_clients,
+        )
+
     # ------------------------------------------------------------------
     # Key normalization
     # ------------------------------------------------------------------

@@ -31,7 +31,20 @@ def adoption_shard_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Fault draws are keyed by ``(fault seed, kind, scan index, name)``, so
     the chunk decomposition cannot change which domains or addresses fail.
+
+    ``engine: "batch"`` routes the payload through the equivalence-class
+    batch engine (:func:`repro.scan.batch.batched_adoption_shard`), which
+    returns the identical result without building zones or probes.  The
+    key is only present when batching, so object-path payloads keep their
+    pre-batch cache identity.
     """
+    if payload.get("engine") == "batch":
+        from ..scan.batch import batched_adoption_shard
+
+        return batched_adoption_shard(
+            {k: v for k, v in payload.items() if k != "engine"}
+        )
+
     from ..faults.model import FaultPlan, fault_from_params
     from ..scan.detect import DomainClass
     from ..scan.population import SyntheticInternet, population_from_params
@@ -136,7 +149,12 @@ def deployment_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 # Parameter sweeps: one grid point per task
 # ----------------------------------------------------------------------
 def internet_scale_task(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """One what-if grid point of the internet-scale synthesis."""
+    """One what-if grid point of the internet-scale synthesis.
+
+    ``engine: "batch"`` routes the point through the equivalence-class
+    engine; the key is only present when batching, so object-path payloads
+    keep their pre-batch cache identity.
+    """
     from ..core.internet_scale import run_internet_scale
 
     result = run_internet_scale(
@@ -145,6 +163,7 @@ def internet_scale_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         nolisting_rate=float(payload["nolisting_rate"]),
         messages=int(payload["messages"]),
         seed=int(payload["seed"]),
+        engine=str(payload.get("engine", "object")),
     )
     return {
         "num_domains": result.num_domains,
@@ -159,7 +178,12 @@ def internet_scale_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def synergy_delay_task(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """One greylist-delay point of the synergy threshold sweep."""
+    """One greylist-delay point of the synergy threshold sweep.
+
+    ``engine: "batch"`` routes the point through the equivalence-class
+    engine; the key is only present when batching, so object-path payloads
+    keep their pre-batch cache identity.
+    """
     from ..core.synergy import run_synergy_experiment
 
     result = run_synergy_experiment(
@@ -168,6 +192,7 @@ def synergy_delay_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         reports_per_hour=float(payload["reports_per_hour"]),
         num_messages=int(payload["num_messages"]),
         seed=int(payload["seed"]),
+        engine=str(payload.get("engine", "object")),
     )
     return {
         "configuration": result.configuration,

@@ -24,6 +24,7 @@ identical to a serial run.
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,18 @@ FIGURE2_MIX: Dict[DomainCategory, float] = {
 #: Upper bound on addresses one domain can consume (multi-MX tops out at a
 #: primary plus three extra exchangers); sizes each chunk's address slice.
 MAX_ADDRESSES_PER_DOMAIN = 4
+
+#: Canonical category order backing the plan's columnar representation.
+#: Sorted by enum value, matching the plan's canonical layout order, so a
+#: category's code is stable across processes and releases of this module.
+CATEGORY_ORDER: Tuple[DomainCategory, ...] = tuple(
+    sorted(DomainCategory, key=lambda c: c.value)
+)
+
+#: category -> small-int code used in the plan's ``array('B')`` column.
+CATEGORY_CODE: Dict[DomainCategory, int] = {
+    category: code for code, category in enumerate(CATEGORY_ORDER)
+}
 
 
 @dataclass
@@ -183,6 +196,15 @@ class PopulationPlan:
     O(n) in cheap scalar data.  Both the full generator and every shard
     derive the same plan from ``(config, seed)``, so chunk ``k`` means the
     same domains everywhere.
+
+    The plan's authoritative storage is *columnar*: an ``array('B')`` of
+    category codes and an ``array('I')`` of ranks.  :class:`PlannedDomain`
+    objects are materialized lazily (and at most once) when somebody asks
+    for :attr:`domains`; the batched engines and worker-side generators
+    read :meth:`chunk_rows` instead and never pay for the object layer.
+    A category index and the ground-truth counts are built once here —
+    categories never change after planning, so they need no invalidation;
+    the name->rank map is cached and dropped by :meth:`plant`.
     """
 
     def __init__(self, config: PopulationConfig, seed: int) -> None:
@@ -191,26 +213,53 @@ class PopulationPlan:
         root = RandomStream(seed, "population")
 
         counts = self._category_counts(config)
-        order: List[DomainCategory] = []
+        codes = array("B")
         # Canonical category order: the plan must not depend on the mix
         # dict's insertion order, or a worker rebuilding the config from
-        # canonical params would lay out a different population.
+        # canonical params would lay out a different population.  Shuffling
+        # the code column draws exactly what shuffling the old object list
+        # drew (the draws depend only on the length), so populations are
+        # bit-identical to the pre-columnar layout.
         for category in sorted(counts, key=lambda c: c.value):
-            order.extend([category] * counts[category])
-        root.split("order").shuffle(order)
+            codes.extend([CATEGORY_CODE[category]] * counts[category])
+        root.split("order").shuffle(codes)
 
-        ranks = list(range(1, config.num_domains + 1))
+        ranks = array("I", range(1, config.num_domains + 1))
         root.split("ranks").shuffle(ranks)
 
-        self.domains: List[PlannedDomain] = [
-            PlannedDomain(
-                index=index,
-                name=f"dom{index:07d}.example",
-                category=category,
-                alexa_rank=ranks[index],
-            )
-            for index, category in enumerate(order)
-        ]
+        self._codes = codes
+        self._ranks = ranks
+        self._counts: Dict[DomainCategory, int] = {
+            category: counts.get(category, 0) for category in DomainCategory
+        }
+        self._index_by_category: Dict[DomainCategory, "array[int]"] = {
+            category: array("I") for category in CATEGORY_ORDER
+        }
+        for index, code in enumerate(codes):
+            self._index_by_category[CATEGORY_ORDER[code]].append(index)
+        self._domains: Optional[List[PlannedDomain]] = None
+        self._rank_cache: Optional[Dict[str, int]] = None
+
+    @staticmethod
+    def name_of(index: int) -> str:
+        """The (purely positional) name of domain ``index``."""
+        return f"dom{index:07d}.example"
+
+    @property
+    def domains(self) -> List[PlannedDomain]:
+        """The object view of the plan, materialized on first access."""
+        if self._domains is None:
+            ranks = self._ranks
+            self._domains = [
+                PlannedDomain(
+                    index=index,
+                    name=self.name_of(index),
+                    category=CATEGORY_ORDER[code],
+                    alexa_rank=ranks[index],
+                )
+                for index, code in enumerate(self._codes)
+            ]
+        return self._domains
 
     @staticmethod
     def _category_counts(config: PopulationConfig) -> Dict[DomainCategory, int]:
@@ -231,26 +280,87 @@ class PopulationPlan:
         return self.config.num_chunks
 
     def chunk(self, chunk_index: int) -> List[PlannedDomain]:
-        """The planned domains of chunk ``chunk_index``."""
+        """The planned domains of chunk ``chunk_index`` (object view)."""
+        self._check_chunk(chunk_index)
+        size = self.config.chunk_size
+        return self.domains[chunk_index * size: (chunk_index + 1) * size]
+
+    def chunk_rows(self, chunk_index: int) -> List[Tuple[int, str, DomainCategory, int]]:
+        """Chunk contents as cheap ``(index, name, category, rank)`` rows.
+
+        Reads straight from the columnar arrays, so a worker generating one
+        shard never materializes the full object plan.  Falls back to the
+        object view when it exists, because planting mutates object ranks.
+        """
+        self._check_chunk(chunk_index)
+        size = self.config.chunk_size
+        start = chunk_index * size
+        stop = min(start + size, self.config.num_domains)
+        if self._domains is not None:
+            return [
+                (d.index, d.name, d.category, d.alexa_rank)
+                for d in self._domains[start:stop]
+            ]
+        codes, ranks = self._codes, self._ranks
+        return [
+            (i, self.name_of(i), CATEGORY_ORDER[codes[i]], ranks[i])
+            for i in range(start, stop)
+        ]
+
+    def _check_chunk(self, chunk_index: int) -> None:
         if not 0 <= chunk_index < self.num_chunks:
             raise ValueError(
                 f"chunk {chunk_index} out of range [0, {self.num_chunks})"
             )
-        size = self.config.chunk_size
-        return self.domains[chunk_index * size: (chunk_index + 1) * size]
 
     def truth_counts(self) -> Dict[DomainCategory, int]:
-        counts = {c: 0 for c in DomainCategory}
-        for planned in self.domains:
-            counts[planned.category] += 1
-        return counts
+        """Exact category counts, precomputed at planning time."""
+        return dict(self._counts)
 
     def domains_in(self, category: DomainCategory) -> List[PlannedDomain]:
-        return [d for d in self.domains if d.category is category]
+        """Planned domains of one category, via the one-time index."""
+        domains = self.domains
+        return [domains[i] for i in self._index_by_category[category]]
+
+    def count_in(self, category: DomainCategory) -> int:
+        """Category cardinality without materializing any objects."""
+        return self._counts[category]
 
     def rank_of(self) -> Dict[str, int]:
-        """Domain name -> current Alexa rank (reflects any planting)."""
-        return {d.name: d.alexa_rank for d in self.domains}
+        """Domain name -> current Alexa rank (reflects any planting).
+
+        Cached after the first call; :meth:`plant` (or an explicit
+        :meth:`invalidate_rank_cache`) drops the cache when ranks move.
+        Treat the returned mapping as read-only.
+        """
+        if self._rank_cache is None:
+            if self._domains is None:
+                self._rank_cache = {
+                    self.name_of(i): rank
+                    for i, rank in enumerate(self._ranks)
+                }
+            else:
+                self._rank_cache = {
+                    d.name: d.alexa_rank for d in self._domains
+                }
+        return self._rank_cache
+
+    def plant(self, ranks: Sequence[int]) -> List[str]:
+        """Plant nolisting adopters at ``ranks`` and invalidate rank caches.
+
+        The one sanctioned way to re-rank a plan: callers that reach for
+        :func:`repro.scan.alexa.plant_ranks` directly bypass the cache
+        invalidation and will read stale :meth:`rank_of` answers.
+        """
+        from .alexa import plant_ranks  # deferred: alexa imports this module
+
+        planted = plant_ranks(self.domains, ranks)
+        self.invalidate_rank_cache()
+        return planted
+
+    def invalidate_rank_cache(self) -> None:
+        """Forget the memoized name->rank map after external rank edits."""
+        self._rank_cache = None
 
 
 class SyntheticInternet:
@@ -280,6 +390,17 @@ class SyntheticInternet:
         self.seed = seed
         self.zones = ZoneStore()
         self.domains: List[DomainTruth] = []
+        # One-time ground-truth indexes, maintained during generation so the
+        # accessors below never rescan the population.  Categories are fixed
+        # at generation (planting only moves ranks), so nothing here needs
+        # invalidation.
+        self._truth_counts: Dict[DomainCategory, int] = {
+            c: 0 for c in DomainCategory
+        }
+        self._by_category: Dict[DomainCategory, List[DomainTruth]] = {
+            c: [] for c in DomainCategory
+        }
+        self._mail_addresses: List[IPv4Address] = []
         self._listening: Dict[IPv4Address, bool] = {}
         #: address -> scan index during which it is spuriously down
         self._down_during_scan: Dict[IPv4Address, int] = {}
@@ -328,13 +449,12 @@ class SyntheticInternet:
             self.config.chunk_address_stride,
         )
 
-        for planned in self.plan.chunk(chunk_index):
+        for _, name, category, rank in self.plan.chunk_rows(chunk_index):
             truth = DomainTruth(
-                name=planned.name,
-                category=planned.category,
-                alexa_rank=planned.alexa_rank,
+                name=name,
+                category=category,
+                alexa_rank=rank,
             )
-            category = planned.category
             if category is DomainCategory.SINGLE_MX:
                 self._build_single(truth, pool)
                 self._maybe_transient(truth, outage_rng)
@@ -349,6 +469,8 @@ class SyntheticInternet:
             else:
                 self._build_misconfigured(truth, pool, misc_rng)
             self.domains.append(truth)
+            self._truth_counts[category] += 1
+            self._by_category[category].append(truth)
 
     def _allocate_mx(
         self,
@@ -365,6 +487,7 @@ class SyntheticInternet:
         zone.add_mx(preference, hostname)
         truth.mx_hosts.append((hostname, preference, address))
         self._listening[address] = listening
+        self._mail_addresses.append(address)
         return address
 
     def _build_single(self, truth: DomainTruth, pool: AddressPool) -> None:
@@ -425,25 +548,23 @@ class SyntheticInternet:
         return self._down_during_scan.get(address) != scan_index
 
     def all_mail_addresses(self) -> List[IPv4Address]:
-        """Every address allocated to an MX host (the scan's address space)."""
-        return [
-            addr
-            for truth in self.domains
-            for (_, _, addr) in truth.mx_hosts
-            if addr is not None
-        ]
+        """Every address allocated to an MX host (the scan's address space).
+
+        Answered from the index built during generation — allocation order,
+        which matches the old population walk exactly.
+        """
+        return list(self._mail_addresses)
 
     # ------------------------------------------------------------------
     # Ground truth helpers (for validating the pipeline)
     # ------------------------------------------------------------------
     def truth_counts(self) -> Dict[DomainCategory, int]:
-        counts = {c: 0 for c in DomainCategory}
-        for truth in self.domains:
-            counts[truth.category] += 1
-        return counts
+        """Category counts, maintained incrementally during generation."""
+        return dict(self._truth_counts)
 
     def domains_in(self, category: DomainCategory) -> List[DomainTruth]:
-        return [t for t in self.domains if t.category is category]
+        """Generated domains of one category, via the one-time index."""
+        return list(self._by_category[category])
 
     @property
     def num_domains(self) -> int:

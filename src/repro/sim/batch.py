@@ -1,0 +1,226 @@
+"""Equivalence-class batching primitives.
+
+The internet-scale experiments spend almost all of their time re-deriving
+outcomes that are identical across huge swaths of the population: two
+domains with the same MX topology, the same liveness pattern and the same
+fault-window signature classify identically; two SMTP sessions between the
+same bot dialect and the same server policy in the same greylist phase
+produce the same transcript.  This module provides the two generic
+building blocks the batched engines are made of:
+
+* :class:`EquivalenceClassIndex` — groups work units by an
+  outcome-determining key so one representative is evaluated per class and
+  its result multiplied by the class cardinality;
+* :class:`SessionOutcomeCache` — a bounded LRU memo of
+  :class:`SessionPlaybook` entries (interned SMTP transcripts keyed by bot
+  dialect, server-policy fingerprint, threshold bucket and retry phase).
+
+Both are deterministic by construction: they hold no randomness, and the
+batched engines built on top of them only ever feed them keys derived from
+the same ``seed:label`` streams the per-object paths consume — which is
+what makes batched and unbatched runs bit-for-bit identical.
+
+>>> index = EquivalenceClassIndex()
+>>> for name in ("a", "b", "c"):
+...     index.add(("single-mx", True), name)
+>>> index.add(("multi-mx", False), "d")
+>>> index.num_classes, index.num_members
+(2, 4)
+>>> index.cardinality(("single-mx", True))
+3
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+M = TypeVar("M")
+V = TypeVar("V")
+
+#: Cache keys are flat tuples of hashables: (dialect, policy fingerprint,
+#: threshold bucket, retry/phase bucket, ...).
+PlaybookKey = Tuple[Hashable, ...]
+
+
+@dataclass(slots=True)
+class BatchCounters:
+    """Work accounting of one batched run (how much collapsing happened)."""
+
+    members: int = 0
+    classes: int = 0
+    representative_runs: int = 0
+
+    @property
+    def collapse_factor(self) -> float:
+        """Members handled per representative actually evaluated."""
+        if self.representative_runs == 0:
+            return 0.0
+        return self.members / self.representative_runs
+
+
+class EquivalenceClassIndex(Generic[K, M]):
+    """Groups work units by an outcome-determining key.
+
+    Insertion order of first appearance is preserved, so iterating the
+    classes is deterministic regardless of how members hash.
+    """
+
+    def __init__(self) -> None:
+        self._classes: "OrderedDict[K, List[M]]" = OrderedDict()
+        self._num_members = 0
+
+    def add(self, key: K, member: M) -> None:
+        """File ``member`` under ``key``."""
+        bucket = self._classes.get(key)
+        if bucket is None:
+            bucket = []
+            self._classes[key] = bucket
+        bucket.append(member)
+        self._num_members += 1
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_members(self) -> int:
+        return self._num_members
+
+    def cardinality(self, key: K) -> int:
+        """Number of members filed under ``key`` (0 when absent)."""
+        bucket = self._classes.get(key)
+        return len(bucket) if bucket is not None else 0
+
+    def members(self, key: K) -> List[M]:
+        """The members of one class, in insertion order."""
+        return list(self._classes.get(key, []))
+
+    def classes(self) -> Iterator[Tuple[K, List[M]]]:
+        """Iterate ``(key, members)`` in first-appearance order."""
+        return iter(self._classes.items())
+
+    def map_representatives(self, fn: Callable[[K], V]) -> Dict[K, V]:
+        """Evaluate ``fn`` once per class key.
+
+        This is the batching core: the caller's ``fn`` drives the *real*
+        per-object machinery on one representative, and the result is
+        shared by every member of the class.
+        """
+        return {key: fn(key) for key in self._classes}
+
+    def __len__(self) -> int:
+        return self.num_classes
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._classes
+
+    def __repr__(self) -> str:
+        return (
+            f"EquivalenceClassIndex(classes={self.num_classes}, "
+            f"members={self.num_members})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SessionPlaybook:
+    """The memoized outcome of one SMTP session class.
+
+    ``outcome`` is the bot-side attempt outcome (the value of
+    ``BotAttemptOutcome``), ``reply_code`` the decisive SMTP reply, and
+    ``transcript`` the replayable exchange.  Transcript lines are interned
+    (:func:`sys.intern`) so thousands of cached classes share the same
+    string objects.
+    """
+
+    outcome: str
+    reply_code: int
+    transcript: Tuple[str, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        outcome: str,
+        reply_code: int,
+        transcript: Tuple[str, ...] = (),
+    ) -> "SessionPlaybook":
+        """Build a playbook with interned transcript lines."""
+        return cls(
+            outcome=outcome,
+            reply_code=reply_code,
+            transcript=tuple(sys.intern(line) for line in transcript),
+        )
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome == "delivered"
+
+    @property
+    def deferred(self) -> bool:
+        return self.outcome == "deferred"
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome == "rejected"
+
+
+class SessionOutcomeCache:
+    """Bounded LRU memo of :class:`SessionPlaybook` entries.
+
+    Keys are ``(bot dialect profile, server policy fingerprint, greylist
+    threshold bucket, retry-schedule/phase bucket)`` tuples; values are
+    playbooks produced by driving one *real* session per class.  Hit, miss
+    and eviction counters are exposed for the engines (and their tests).
+
+    Memoization is sound exactly because every component of the key is an
+    outcome determinant: two sessions agreeing on all of them are driven
+    through identical state machines with identical inputs, so caching the
+    first transcript loses nothing.  Anything time- or state-dependent
+    (the greylist phase, a DNSBL listing) must be folded into the key by
+    the caller — never guessed by the cache.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlaybookKey, SessionPlaybook]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self, key: PlaybookKey, builder: Callable[[], SessionPlaybook]
+    ) -> SessionPlaybook:
+        """Return the cached playbook for ``key``, building it on a miss."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        playbook = builder()
+        self._entries[key] = playbook
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return playbook
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionOutcomeCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

@@ -66,6 +66,12 @@ class EventScheduler:
     ----------
     clock:
         The simulation clock to drive.  A fresh one is created if omitted.
+    compact_min_tombstones:
+        Heap compaction is skipped while fewer than this many cancelled
+        tombstones exist, so tiny heaps are not rebuilt on every
+        cancellation.  Defaults to :data:`COMPACT_MIN_TOMBSTONES`; lower it
+        for tighter memory bounds under schedule/cancel churn, raise it to
+        amortize compaction over larger batches.
 
     Examples
     --------
@@ -78,12 +84,23 @@ class EventScheduler:
     [5.0]
     """
 
-    #: Compaction is skipped while fewer than this many tombstones exist, so
-    #: tiny heaps are not rebuilt on every cancellation.
+    #: Default compaction threshold (see ``compact_min_tombstones``).
     COMPACT_MIN_TOMBSTONES = 32
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        compact_min_tombstones: Optional[int] = None,
+    ) -> None:
+        if compact_min_tombstones is None:
+            compact_min_tombstones = self.COMPACT_MIN_TOMBSTONES
+        if compact_min_tombstones < 1:
+            raise SchedulerError(
+                f"compact_min_tombstones must be >= 1, got "
+                f"{compact_min_tombstones}"
+            )
         self.clock = clock if clock is not None else Clock()
+        self.compact_min_tombstones = int(compact_min_tombstones)
         self._heap: list[_Entry] = []
         self._entries: dict[tuple, _Entry] = {}
         self._seq = itertools.count()
@@ -130,7 +147,7 @@ class EventScheduler:
         del self._entries[(handle.when, handle.seq)]
         self._tombstones += 1
         if (
-            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            self._tombstones >= self.compact_min_tombstones
             and self._tombstones * 2 > len(self._entries)
         ):
             self._compact()
@@ -233,6 +250,16 @@ class EventScheduler:
     def tombstones(self) -> int:
         """Cancelled entries still occupying heap slots."""
         return self._tombstones
+
+    @property
+    def heap_size(self) -> int:
+        """Heap slots in use, live entries plus tombstones.
+
+        The churn benchmark asserts this stays bounded: without
+        compaction, cancel-heavy workloads (retry timers that almost
+        always get cancelled) grow the heap without limit.
+        """
+        return len(self._heap)
 
     def next_event_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when idle."""

@@ -13,6 +13,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "adoption",
+            "internet-scale",
             "defenses",
             "webmail",
             "mta-survey",
@@ -25,6 +26,22 @@ class TestParser:
             "filter",
             "scorecard",
         }
+
+    def test_profile_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["--profile", "--profile-out", "out.prof", "adoption"]
+        )
+        assert args.profile is True
+        assert args.profile_out == "out.prof"
+
+    def test_profile_defaults_off(self):
+        args = build_parser().parse_args(["adoption"])
+        assert args.profile is False
+        assert args.profile_out is None
+
+    def test_engine_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adoption", "--engine", "warp"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -95,6 +112,42 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "Using nolisting" in out
+
+    def test_adoption_batch_engine_matches_object(self, capsys):
+        assert main(["--seed", "42", "adoption", "--domains", "1000"]) == 0
+        object_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "--seed",
+                    "42",
+                    "adoption",
+                    "--domains",
+                    "1000",
+                    "--engine",
+                    "batch",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == object_out
+
+    def test_internet_scale(self, capsys):
+        assert main(["internet-scale", "--domains", "5000", "--messages", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Greylisting" in out and "batch engine" in out
+
+    def test_profile_report_on_stderr(self, capsys):
+        assert main(["--profile", "mta-survey"]) == 0
+        captured = capsys.readouterr()
+        assert "sendmail" in captured.out
+        assert "cumulative" in captured.err
+
+    def test_profile_out_writes_stats(self, capsys, tmp_path):
+        target = tmp_path / "run.prof"
+        assert main(["--profile-out", str(target), "mta-survey"]) == 0
+        capsys.readouterr()
+        assert target.exists() and target.stat().st_size > 0
 
     def test_defenses(self, capsys):
         assert main(["defenses", "--recipients", "2"]) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the equivalence-class batching primitives."""
+
+import pytest
+
+from repro.sim.batch import (
+    BatchCounters,
+    EquivalenceClassIndex,
+    SessionOutcomeCache,
+    SessionPlaybook,
+)
+
+
+class TestEquivalenceClassIndex:
+    def test_groups_members_by_key(self):
+        index = EquivalenceClassIndex()
+        index.add(("a",), 1)
+        index.add(("a",), 2)
+        index.add(("b",), 3)
+        assert index.num_classes == 2
+        assert index.num_members == 3
+        assert index.cardinality(("a",)) == 2
+        assert index.cardinality(("b",)) == 1
+        assert index.cardinality(("missing",)) == 0
+
+    def test_members_in_insertion_order(self):
+        index = EquivalenceClassIndex()
+        for member in ("x", "y", "z"):
+            index.add("k", member)
+        assert index.members("k") == ["x", "y", "z"]
+        assert index.members("absent") == []
+
+    def test_classes_iterate_first_appearance_order(self):
+        index = EquivalenceClassIndex()
+        index.add("late", 1)
+        index.add("early", 2)
+        index.add("late", 3)
+        assert [key for key, _ in index.classes()] == ["late", "early"]
+
+    def test_map_representatives_evaluates_once_per_class(self):
+        index = EquivalenceClassIndex()
+        for i in range(10):
+            index.add(i % 3, i)
+        calls = []
+
+        def fn(key):
+            calls.append(key)
+            return key * 100
+
+        result = index.map_representatives(fn)
+        assert calls == [0, 1, 2]
+        assert result == {0: 0, 1: 100, 2: 200}
+
+    def test_len_and_contains(self):
+        index = EquivalenceClassIndex()
+        index.add("k", "m")
+        assert len(index) == 1
+        assert "k" in index
+        assert "other" not in index
+
+
+class TestSessionPlaybook:
+    def test_make_interns_transcript_lines(self):
+        first = SessionPlaybook.make("delivered", 250, ("250 OK", "221 Bye"))
+        second = SessionPlaybook.make("delivered", 250, ("250 OK", "221 Bye"))
+        assert first == second
+        # Interning makes the shared lines the *same* string objects.
+        assert first.transcript[0] is second.transcript[0]
+
+    def test_outcome_predicates(self):
+        assert SessionPlaybook.make("delivered", 250).delivered
+        assert SessionPlaybook.make("deferred", 450).deferred
+        assert SessionPlaybook.make("rejected", 554).rejected
+        assert not SessionPlaybook.make("deferred", 450).delivered
+
+
+class TestSessionOutcomeCache:
+    def test_hit_and_miss_counters(self):
+        cache = SessionOutcomeCache(capacity=8)
+        playbook = SessionPlaybook.make("delivered", 250)
+        built = []
+
+        def builder():
+            built.append(1)
+            return playbook
+
+        assert cache.get_or_build(("k",), builder) is playbook
+        assert cache.get_or_build(("k",), builder) is playbook
+        assert (cache.hits, cache.misses, len(built)) == (1, 1, 1)
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = SessionOutcomeCache(capacity=2)
+        make = lambda code: lambda: SessionPlaybook.make("deferred", code)  # noqa: E731
+        cache.get_or_build("a", make(1))
+        cache.get_or_build("b", make(2))
+        # Touch "a" so "b" becomes least-recently-used.
+        cache.get_or_build("a", make(1))
+        cache.get_or_build("c", make(3))
+        assert cache.evictions == 1
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            SessionOutcomeCache(capacity=0)
+
+    def test_clear_empties_entries(self):
+        cache = SessionOutcomeCache()
+        cache.get_or_build("k", lambda: SessionPlaybook.make("delivered", 250))
+        cache.clear()
+        assert len(cache) == 0
+        assert "k" not in cache
+
+
+class TestBatchCounters:
+    def test_collapse_factor(self):
+        counters = BatchCounters(members=100, classes=4, representative_runs=5)
+        assert counters.collapse_factor == 20.0
+
+    def test_collapse_factor_zero_runs(self):
+        assert BatchCounters().collapse_factor == 0.0

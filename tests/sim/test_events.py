@@ -165,6 +165,37 @@ class TestTombstoneCompaction:
         assert sched.tombstones == 0
         assert sched.events_processed == 2
 
+    def test_custom_threshold_compacts_earlier(self):
+        # A lower constructor threshold keeps the heap tighter under the
+        # same churn: tombstones are swept as soon as 4 accumulate.
+        sched = EventScheduler(Clock(), compact_min_tombstones=4)
+        sched.schedule_at(1e9, lambda: None)
+        for round_ in range(100):
+            handles = [
+                sched.schedule_at(100.0 + round_, lambda: None)
+                for _ in range(50)
+            ]
+            for handle in handles:
+                sched.cancel(handle)
+            assert sched.heap_size <= sched.pending + 4
+
+    def test_default_threshold_from_class_constant(self, sched):
+        assert sched.compact_min_tombstones == EventScheduler.COMPACT_MIN_TOMBSTONES
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(SchedulerError):
+            EventScheduler(Clock(), compact_min_tombstones=0)
+        with pytest.raises(SchedulerError):
+            EventScheduler(Clock(), compact_min_tombstones=-5)
+
+    def test_heap_size_counts_live_plus_tombstones(self, sched):
+        handles = [sched.schedule_at(float(i + 1), lambda: None) for i in range(5)]
+        assert sched.heap_size == 5
+        sched.cancel(handles[0])
+        # Below the compaction floor the tombstone still occupies a slot.
+        assert sched.heap_size == 5
+        assert sched.pending == 4
+
     def test_cancel_correct_across_compaction(self, sched):
         fired = []
         keep = [
