@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json profile scorecard examples all clean
+.PHONY: install test lint bench bench-smoke bench-json profile scorecard examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,15 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The CI smoke set: substrate/runner/batch/columnar microbenches, gated
+# against BENCH_0.json by scripts/check_bench_regression.py.
+SMOKE_BENCHES := benchmarks/test_perf_substrates.py benchmarks/test_perf_runner.py \
+	benchmarks/test_perf_batch.py benchmarks/test_perf_columnar.py
+bench-smoke:
+	$(PYTHON) -m pytest $(SMOKE_BENCHES) --benchmark-only --benchmark-disable-gc \
+		--benchmark-json=bench-smoke.json
+	$(PYTHON) scripts/check_bench_regression.py BENCH_0.json bench-smoke.json
 
 # Benches with the reproduced tables/figures printed.
 bench-show:

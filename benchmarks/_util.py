@@ -6,7 +6,28 @@ paper-matching properties so a silent regression cannot slip through.
 """
 
 
+import tracemalloc
+
+
 def emit(title: str, text: str) -> None:
     """Print a reproduced artefact with a banner."""
     banner = "=" * 72
     print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+def traced_peak_mb(fn):
+    """Run ``fn`` under tracemalloc; return (result, peak heap in MiB).
+
+    Used for the ``peak_rss_mb`` extra_info on the internet-scale benches
+    and the memory-budget gate: tracemalloc's peak counts every live Python
+    allocation, so it bounds the working set independent of allocator slack.
+    Always run this *outside* the timed section — tracing costs several
+    times the untraced run.
+    """
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak / (1024 * 1024)

@@ -52,6 +52,15 @@ def main(argv: list) -> int:
     current = load_minimums(current_path)
 
     shared = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    for name in new:
+        # A benchmark added since the baseline was captured has nothing to
+        # regress against; note it and move on.  It joins the gate once the
+        # baseline is refreshed (make bench-json, commit as BENCH_0.json).
+        print(
+            f"  {name}: not in baseline {baseline_path}; "
+            f"skipped (new benchmark, no reference time)"
+        )
     if not shared:
         print(
             f"no benchmarks shared between {baseline_path} and "

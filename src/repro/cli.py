@@ -41,6 +41,11 @@ def _cmd_adoption(args: argparse.Namespace) -> int:
         from .runner.cache import ResultCache
 
         cache = ResultCache()
+    config = None
+    if args.mix_profile != "figure2":
+        from .scan.profiles import profile_config
+
+        config = profile_config(args.mix_profile, num_domains=args.domains)
     result = run_adoption_experiment(
         num_domains=args.domains,
         seed=args.seed,
@@ -49,6 +54,7 @@ def _cmd_adoption(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
         engine=args.engine,
+        config=config,
     )
     print(figure2_text(result))
     return 0
@@ -372,9 +378,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--domains", type=int, default=20000)
     p.add_argument(
         "--engine",
-        choices=("object", "batch"),
+        choices=("object", "batch", "columnar"),
         default="object",
-        help="shard implementation: per-object simulation or batch engine",
+        help=(
+            "shard implementation: per-object simulation, batch "
+            "equivalence-class engine, or columnar (vectorized) engine"
+        ),
+    )
+    p.add_argument(
+        "--mix-profile",
+        choices=("figure2", "provider-consolidated", "dns-abuse"),
+        default="figure2",
+        help=(
+            "generator profile for the synthetic population: the paper's "
+            "Figure 2 mix, provider-consolidated MX pools, or an "
+            "abuse-shaped registration mix"
+        ),
     )
     p.set_defaults(func=_cmd_adoption)
 
@@ -386,9 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=400)
     p.add_argument(
         "--engine",
-        choices=("object", "batch"),
+        choices=("object", "batch", "columnar"),
         default="batch",
-        help="per-object simulation or equivalence-class batch engine",
+        help=(
+            "per-object simulation, equivalence-class batch engine, or "
+            "streaming columnar engine (fixed memory budget at any scale)"
+        ),
     )
     p.set_defaults(func=_cmd_internet_scale)
 

@@ -89,6 +89,7 @@ def run_internet_scale(
     engine: str = "object",
     session_cache: Optional[SessionOutcomeCache] = None,
     counters: Optional[BatchCounters] = None,
+    chunk_domains: int = 100_000,
 ) -> InternetScaleResult:
     """Run one spam wave through a mixed-deployment internet.
 
@@ -98,16 +99,26 @@ def run_internet_scale(
     session per class (memoized in ``session_cache``, a
     :class:`~repro.sim.batch.SessionOutcomeCache`) and replays only the
     per-message retry-delay draws — producing the identical result.
-    ``counters``, a :class:`~repro.sim.batch.BatchCounters`, is filled
-    with the batched run's collapse accounting when given; both knobs are
-    ignored by the object engine.
+    ``engine="columnar"`` additionally *streams* the receiver internet's
+    deployment column in chunks of ``chunk_domains`` (see
+    :func:`repro.scan.columnar.stream_deployment_chunks`), retaining only
+    the targeted entries — peak memory is one chunk plus the wave,
+    independent of ``num_domains``, which is what lifts the sweep to 10M
+    domains.  ``counters``, a :class:`~repro.sim.batch.BatchCounters`, is
+    filled with the batched run's collapse accounting when given; the
+    cache and counter knobs are ignored by the object engine.
     """
-    if engine not in ("object", "batch"):
+    if engine not in ("object", "batch", "columnar"):
         raise ValueError(f"unknown internet-scale engine {engine!r}")
     if not 0.0 <= greylisting_rate + nolisting_rate <= 1.0:
         raise ValueError("deployment rates must sum to at most 1")
-    if engine == "batch":
-        return _run_internet_scale_batched(
+    if engine in ("batch", "columnar"):
+        run = (
+            _run_internet_scale_batched
+            if engine == "batch"
+            else _run_internet_scale_columnar
+        )
+        return run(
             num_domains=num_domains,
             greylisting_rate=greylisting_rate,
             nolisting_rate=nolisting_rate,
@@ -117,6 +128,7 @@ def run_internet_scale(
             horizon=horizon,
             session_cache=session_cache,
             counters=counters,
+            chunk_domains=chunk_domains,
         )
     rng = RandomStream(seed, "internet-scale")
     scheduler = EventScheduler(Clock())
@@ -227,23 +239,48 @@ def _assemble_result(
 #: Deployment kinds a receiver domain can be in (disjoint in this model).
 _PLAIN, _NOLISTED, _GREYLISTED = "plain", "nolisted", "greylisted"
 
+#: Columnar deployment code (see :mod:`repro.scan.columnar`) -> kind.
+_KIND_OF_CODE = (_PLAIN, _NOLISTED, _GREYLISTED)
 
-def _run_internet_scale_batched(
-    num_domains: int,
-    greylisting_rate: float,
-    nolisting_rate: float,
-    messages: int,
+
+def _replay_wave(
+    rng: RandomStream, messages: int, num_domains: int
+) -> List[tuple]:
+    """Replay the wave's family-mix and target draws verbatim.
+
+    Returns ``(message index, family, target domain index)`` triples.  The
+    mix and target streams are independent splits, so draining them here —
+    before any deployment work — consumes exactly the draws the object
+    path's per-message loop consumes.  ``choice()`` draws depend only on
+    the sequence length, so picking from a ``range`` replays the object
+    path's pick out of the name list exactly.
+    """
+    weights = [family.botnet_spam_share for family in FAMILIES]
+    mix_rng = rng.split("mix")
+    target_rng = rng.split("targets")
+    domain_indices = range(num_domains)
+    return [
+        (
+            index,
+            FAMILIES[mix_rng.weighted_index(weights)],
+            target_rng.choice(domain_indices),
+        )
+        for index in range(messages)
+    ]
+
+
+def _resolve_wave(
+    wave: List[tuple],
+    deployment_of,
+    rng: RandomStream,
     greylist_delay: float,
-    seed: int,
     horizon: float,
-    session_cache: Optional[SessionOutcomeCache] = None,
-    counters: Optional[BatchCounters] = None,
-) -> InternetScaleResult:
-    """The equivalence-class engine behind ``engine="batch"``.
+    session_cache: Optional[SessionOutcomeCache],
+    counters: Optional[BatchCounters],
+) -> tuple:
+    """Resolve every message of a replayed wave through session playbooks.
 
-    Replays the object path's deployment, family-mix and target draws
-    verbatim, then resolves each message through a memoized session
-    playbook instead of the event loop:
+    The shared core of the batch and columnar engines:
 
     * a nolisted target blocks primary-only senders at the TCP layer (no
       session exists to cache) and is an open door for everyone else;
@@ -257,7 +294,10 @@ def _run_internet_scale_batched(
     Soundness: retry draws are task-private, greylist triplets are unique
     per message (unique senders), and no other state couples messages, so
     outcomes depend only on (family, deployment kind, retry-draw stream) —
-    which is exactly what is replayed.
+    which is exactly what is replayed.  ``deployment_of`` maps a target
+    domain index to its deployment kind; the batch engine backs it with
+    the full replayed list, the columnar engine with the streamed chunks'
+    targeted entries only.
     """
     from ..sim.batch import EquivalenceClassIndex
     from .playbooks import build_playbook
@@ -266,38 +306,16 @@ def _run_internet_scale_batched(
     misses_before = cache.misses
     classes: EquivalenceClassIndex = EquivalenceClassIndex()
 
-    rng = RandomStream(seed, "internet-scale")
-
-    # --- replay of the deployment draws (one uniform roll per domain) ----
-    deploy_rng = rng.split("deployments")
-    deployments: List[str] = []
-    for _ in range(num_domains):
-        roll = deploy_rng.random()
-        if roll < nolisting_rate:
-            deployments.append(_NOLISTED)
-        elif roll < nolisting_rate + greylisting_rate:
-            deployments.append(_GREYLISTED)
-        else:
-            deployments.append(_PLAIN)
-
     # Policy fingerprints for the cache keys (identical to the ones the
     # object path's servers would expose).
     open_fp = ConnectionPolicy().fingerprint()
     grey_fp = GreylistPolicy(clock=Clock(), delay=greylist_delay).fingerprint()
 
-    weights = [family.botnet_spam_share for family in FAMILIES]
-    mix_rng = rng.split("mix")
-    target_rng = rng.split("targets")
-    domain_indices = range(num_domains)
     per_family_sent: Dict[str, int] = {f.name: 0 for f in FAMILIES}
     per_family_delivered: Dict[str, int] = {f.name: 0 for f in FAMILIES}
 
-    for index in range(messages):
-        family = FAMILIES[mix_rng.weighted_index(weights)]
-        # choice() draws depend only on the sequence length, so picking an
-        # index replays the object path's pick of the name list exactly.
-        target = target_rng.choice(domain_indices)
-        deployment = deployments[target]
+    for index, family, target in wave:
+        deployment = deployment_of(target)
         per_family_sent[family.name] += 1
         classes.add((family.name, deployment), index)
 
@@ -368,6 +386,114 @@ def _run_internet_scale_batched(
         counters.classes += classes.num_classes
         counters.representative_runs += cache.misses - misses_before
 
+    return per_family_sent, per_family_delivered
+
+
+def _run_internet_scale_batched(
+    num_domains: int,
+    greylisting_rate: float,
+    nolisting_rate: float,
+    messages: int,
+    greylist_delay: float,
+    seed: int,
+    horizon: float,
+    session_cache: Optional[SessionOutcomeCache] = None,
+    counters: Optional[BatchCounters] = None,
+    chunk_domains: int = 100_000,
+) -> InternetScaleResult:
+    """The equivalence-class engine behind ``engine="batch"``.
+
+    Replays the object path's deployment, family-mix and target draws
+    verbatim, holding the full deployment list in memory, then resolves
+    each message through :func:`_resolve_wave`.  ``chunk_domains`` is
+    accepted for signature parity with the columnar engine and ignored.
+    """
+    rng = RandomStream(seed, "internet-scale")
+
+    # --- replay of the deployment draws (one uniform roll per domain) ----
+    deploy_rng = rng.split("deployments")
+    deployments: List[str] = []
+    for _ in range(num_domains):
+        roll = deploy_rng.random()
+        if roll < nolisting_rate:
+            deployments.append(_NOLISTED)
+        elif roll < nolisting_rate + greylisting_rate:
+            deployments.append(_GREYLISTED)
+        else:
+            deployments.append(_PLAIN)
+
+    wave = _replay_wave(rng, messages, num_domains)
+    per_family_sent, per_family_delivered = _resolve_wave(
+        wave,
+        deployments.__getitem__,
+        rng,
+        greylist_delay,
+        horizon,
+        session_cache,
+        counters,
+    )
+    return _assemble_result(
+        num_domains,
+        greylisting_rate,
+        nolisting_rate,
+        per_family_sent,
+        per_family_delivered,
+    )
+
+
+def _run_internet_scale_columnar(
+    num_domains: int,
+    greylisting_rate: float,
+    nolisting_rate: float,
+    messages: int,
+    greylist_delay: float,
+    seed: int,
+    horizon: float,
+    session_cache: Optional[SessionOutcomeCache] = None,
+    counters: Optional[BatchCounters] = None,
+    chunk_domains: int = 100_000,
+) -> InternetScaleResult:
+    """The streaming engine behind ``engine="columnar"``.
+
+    Identical draws, identical results — different memory shape.  The wave
+    is replayed first (its streams are independent of the deployment
+    stream), which pins down the handful of *targeted* domain indices;
+    the deployment column is then streamed through in ``chunk_domains``
+    chunks (:func:`repro.scan.columnar.stream_deployment_chunks`, bulk
+    Python draws + vectorized binning) and only the targeted cells are
+    retained.  Peak memory is O(chunk + messages), independent of
+    ``num_domains`` — the property the memory-budget benchmark pins.
+    """
+    from ..scan.columnar import stream_deployment_chunks
+
+    rng = RandomStream(seed, "internet-scale")
+    wave = _replay_wave(rng, messages, num_domains)
+    targeted = sorted({target for _, _, target in wave})
+
+    deployment: Dict[int, str] = {}
+    cursor = 0
+    for start, codes in stream_deployment_chunks(
+        rng.split("deployments"),
+        num_domains,
+        nolisting_rate,
+        greylisting_rate,
+        chunk_domains=chunk_domains,
+    ):
+        end = start + len(codes)
+        while cursor < len(targeted) and targeted[cursor] < end:
+            index = targeted[cursor]
+            deployment[index] = _KIND_OF_CODE[codes[index - start]]
+            cursor += 1
+
+    per_family_sent, per_family_delivered = _resolve_wave(
+        wave,
+        deployment.__getitem__,
+        rng,
+        greylist_delay,
+        horizon,
+        session_cache,
+        counters,
+    )
     return _assemble_result(
         num_domains,
         greylisting_rate,
@@ -391,13 +517,15 @@ def sweep_deployment_rates(
     Each (greylisting, nolisting) grid point is an independent simulation,
     so the sweep fans them over ``workers`` processes; ``cache`` memoizes
     completed points across invocations.  ``engine="batch"`` runs each
-    point on the equivalence-class engine — identical results, and the
-    only practical way to push ``num_domains`` to internet scale.
+    point on the equivalence-class engine — identical results at a
+    fraction of the cost; ``engine="columnar"`` additionally streams the
+    deployment column in fixed-size chunks, which is what pushes
+    ``num_domains`` to internet scale (10M+) under a fixed memory budget.
     """
     from ..runner.pool import run_tasks
     from ..runner.shards import internet_scale_task
 
-    if engine not in ("object", "batch"):
+    if engine not in ("object", "batch", "columnar"):
         raise ValueError(f"unknown internet-scale engine {engine!r}")
     if rates is None:
         rates = [(0.0, 0.0), (0.2, 0.05), (0.5, 0.1), (0.8, 0.2)]

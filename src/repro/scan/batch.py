@@ -44,7 +44,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..faults.model import FaultPlan, fault_from_params
-from ..net.address import IPv4Address, IPv4Network
+from ..net.address import IPv4Address
 from ..sim.batch import BatchCounters, EquivalenceClassIndex
 from ..sim.rng import RandomStream
 from .datasets import DomainObservation, MXObservation, SMTPScanDataset
@@ -55,6 +55,7 @@ from .detect import (
     classify_two_scans,
 )
 from .population import (
+    CATEGORY_ORDER,
     DomainCategory,
     PopulationConfig,
     PopulationPlan,
@@ -73,7 +74,14 @@ _Shape = Tuple[Any, ...]
 class _DomainSpec:
     """The replayed ground truth of one domain (no zones, no pools)."""
 
-    __slots__ = ("name", "category", "records", "outage_scan", "persistent")
+    __slots__ = (
+        "name",
+        "category",
+        "records",
+        "outage_scan",
+        "persistent",
+        "pool_apex",
+    )
 
     def __init__(
         self,
@@ -82,12 +90,14 @@ class _DomainSpec:
         records: List[_Record],
         outage_scan: Optional[int],
         persistent: bool,
+        pool_apex: Optional[str] = None,
     ) -> None:
         self.name = name
         self.category = category
         self.records = records
         self.outage_scan = outage_scan
         self.persistent = persistent
+        self.pool_apex = pool_apex
 
 
 def _replay_chunk(
@@ -95,60 +105,35 @@ def _replay_chunk(
 ) -> List[_DomainSpec]:
     """Replay one chunk's generation draws without building the world.
 
-    Draw-for-draw lockstep with
-    :meth:`~repro.scan.population.SyntheticInternet._generate_chunk`; any
-    change there must be mirrored here (the batch-equivalence property
-    test pins the two together).
+    The columnar module owns the single replay implementation
+    (:func:`repro.scan.columnar.build_columnar_chunk`, draw-for-draw
+    lockstep with :meth:`~repro.scan.population.SyntheticInternet.
+    _generate_chunk`); this wrapper reconstitutes its columns as the
+    per-domain specs the shape computation consumes.
     """
-    chunk_rng = RandomStream(seed, "population").split(f"chunk:{chunk_index}")
-    outage_rng = chunk_rng.split("outages")
-    mx_rng = chunk_rng.split("mx-count")
-    misc_rng = chunk_rng.split("misconfig")
+    from .columnar import (
+        NO_OUTAGE,
+        build_columnar_chunk,
+        chunk_records,
+        pool_apex_of,
+    )
 
-    network = IPv4Network.parse(config.address_space)
-    next_address = network.base.value + chunk_index * config.chunk_address_stride
-
+    chunk = build_columnar_chunk(plan, config, seed, chunk_index)
     specs: List[_DomainSpec] = []
-    for _, name, category, _rank in plan.chunk_rows(chunk_index):
-        records: List[_Record] = []
-        outage_scan: Optional[int] = None
-        persistent = False
-        if category is DomainCategory.SINGLE_MX:
-            records.append((f"smtp.{name}", 10, next_address))
-            next_address += 1
-            outage_scan = _maybe_transient_replay(outage_rng, config)
-        elif category is DomainCategory.MULTI_MX:
-            extra = mx_rng.weighted_index(list(config.extra_mx_weights)) + 1
-            records.append((f"smtp.{name}", 10, next_address))
-            next_address += 1
-            for i in range(extra):
-                records.append((f"smtp{i + 1}.{name}", 10 * (i + 2), next_address))
-                next_address += 1
-            if outage_rng.random() < config.persistent_outage_rate:
-                persistent = True
-            else:
-                outage_scan = _maybe_transient_replay(outage_rng, config)
-        elif category is DomainCategory.NOLISTING:
-            records.append((f"smtp.{name}", 0, next_address))
-            next_address += 1
-            records.append((f"smtp1.{name}", 15, next_address))
-            next_address += 1
-        else:  # MISCONFIGURED
-            if misc_rng.random() < config.dangling_mx_fraction:
-                records.append((f"ghost.{name}", 10, None))
-            else:
-                next_address += 1  # the www A record still consumes a slot
-        specs.append(_DomainSpec(name, category, records, outage_scan, persistent))
+    for i in range(chunk.n):
+        name = plan.name_of(chunk.start + i)
+        outage = int(chunk.outage_scan[i])
+        specs.append(
+            _DomainSpec(
+                name=name,
+                category=CATEGORY_ORDER[int(chunk.category[i])],
+                records=chunk_records(chunk, i, name),
+                outage_scan=None if outage == NO_OUTAGE else outage,
+                persistent=bool(chunk.persistent[i]),
+                pool_apex=pool_apex_of(chunk, i),
+            )
+        )
     return specs
-
-
-def _maybe_transient_replay(
-    rng: RandomStream, config: PopulationConfig
-) -> Optional[int]:
-    """Replays ``SyntheticInternet._maybe_transient`` for a live primary."""
-    if rng.random() >= config.transient_outage_rate:
-        return None
-    return rng.randint(0, 1)
 
 
 def _scan_shape(
@@ -168,11 +153,21 @@ def _scan_shape(
 
     # Which records' glue survives the capture (A-query faults, then the
     # scanner's elision stream — one draw per glue-carrying record, in
-    # record order, exactly as DNSScanner.scan consumes them).
+    # record order, exactly as DNSScanner.scan consumes them).  Provider
+    # pool exchangers live in their own zone, so their glue A query can
+    # additionally hit that zone's lame delegation — a fault the domain's
+    # own MX query never sees.
+    pool_lame = (
+        faults is not None
+        and spec.pool_apex is not None
+        and faults.zone_lame(spec.pool_apex)
+    )
     glue_present: List[bool] = []
     for hostname, _, address in spec.records:
         if address is None:
             glue_present.append(False)  # ghost exchange: never any glue
+        elif pool_lame:
+            glue_present.append(False)
         elif faults is not None and faults.dns_fault(hostname, scan_index):
             glue_present.append(False)
         else:

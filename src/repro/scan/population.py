@@ -54,6 +54,42 @@ FIGURE2_MIX: Dict[DomainCategory, float] = {
 #: primary plus three extra exchangers); sizes each chunk's address slice.
 MAX_ADDRESSES_PER_DOMAIN = 4
 
+#: Exchangers provisioned per provider-consolidated MX pool.
+POOL_HOSTS = MAX_ADDRESSES_PER_DOMAIN
+
+#: Apex under which provider-consolidated MX pools live; pool ``k`` owns the
+#: zone ``pool<k>.mx-pools.example``.
+PROVIDER_APEX = "mx-pools.example"
+
+#: Address block reserved for provider pools (RFC 2544 benchmarking range,
+#: disjoint from the population's default 10/8 and the bot source ranges).
+#: Pool addresses are arithmetic — pool ``k`` slot ``i`` maps to
+#: ``base + k * POOL_HOSTS + i`` — so the batch/columnar replay never needs
+#: an allocator to know them.
+PROVIDER_ADDRESS_SPACE = "198.18.0.0/16"
+
+
+def provider_pool_apex(pool_id: int) -> str:
+    """Zone apex of provider pool ``pool_id``."""
+    return f"pool{pool_id}.{PROVIDER_APEX}"
+
+
+def provider_pool_host(pool_id: int, slot: int) -> str:
+    """Hostname of exchanger ``slot`` in provider pool ``pool_id``.
+
+    Slots are single digits (``POOL_HOSTS <= 4``), so lexicographic order of
+    the hostnames equals slot order — which keeps the scanner's
+    ``(preference, exchange)`` sort stable for load-balanced (equal
+    preference) pools.
+    """
+    return f"mx{slot}.{provider_pool_apex(pool_id)}"
+
+
+def provider_pool_address(pool_id: int, slot: int) -> int:
+    """Integer address of exchanger ``slot`` in provider pool ``pool_id``."""
+    base = IPv4Network.parse(PROVIDER_ADDRESS_SPACE).base.value
+    return base + pool_id * POOL_HOSTS + slot
+
 #: Canonical category order backing the plan's columnar representation.
 #: Sorted by enum value, matching the plan's canonical layout order, so a
 #: category's code is stable across processes and releases of this module.
@@ -83,6 +119,12 @@ class DomainTruth:
     #: deliberately counts as nolisting-equivalent).
     persistent_outage: bool = False
     alexa_rank: Optional[int] = None
+    #: Provider-consolidated MX pool this domain's exchangers live in, or
+    #: None for self-hosted MX.  Pool domains share exchanger addresses.
+    provider_pool: Optional[int] = None
+    #: Pool advertised with equal preferences (load balancing) rather than
+    #: the weighted fail-over layout.
+    pool_balanced: bool = False
 
     @property
     def primary(self) -> Optional[Tuple[str, int, Optional[IPv4Address]]]:
@@ -117,6 +159,21 @@ class PopulationConfig:
     #: Of the misconfigured domains, fraction that have a dangling MX (the
     #: rest have no MX records at all).
     dangling_mx_fraction: float = 0.5
+    #: Fraction of multi-MX domains hosted on a provider-consolidated MX
+    #: pool (shared exchangers, à la the Ruohonen MX measurement) instead of
+    #: self-hosted exchangers.  0 disables pools — and skips their draws, so
+    #: pool-free populations stay bit-identical to pre-pool releases.
+    provider_pool_fraction: float = 0.0
+    #: Number of distinct provider pools domains are spread over.
+    provider_pool_count: int = 8
+    #: Of the pool-hosted domains, fraction whose pool is advertised with
+    #: equal MX preferences (load balancing); the rest use the weighted
+    #: fail-over layout (ascending preferences).
+    provider_equal_preference: float = 0.3
+    #: Generator mix this config was derived from (see
+    #: :mod:`repro.scan.profiles`); purely descriptive metadata that the
+    #: columnar pipeline records per domain.
+    profile: str = "figure2"
     address_space: str = "10.0.0.0/8"
     #: Domains per generation chunk.  Part of the population's identity: the
     #: same (seed, chunk_size) yields the same domains whether chunks are
@@ -130,11 +187,27 @@ class PopulationConfig:
         if abs(total - 1.0) > 1e-6:
             raise ValueError(f"category mix must sum to 1, got {total}")
         for rate in (self.transient_outage_rate, self.persistent_outage_rate,
-                     self.dangling_mx_fraction):
+                     self.dangling_mx_fraction, self.provider_pool_fraction,
+                     self.provider_equal_preference):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError("rates must lie in [0, 1]")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if self.provider_pool_count < 1:
+            raise ValueError("provider_pool_count must be positive")
+        if self.provider_pool_fraction > 0:
+            provider = IPv4Network.parse(PROVIDER_ADDRESS_SPACE)
+            if self.provider_pool_count * POOL_HOSTS > provider.num_addresses:
+                raise ValueError(
+                    f"{self.provider_pool_count} provider pools exceed the "
+                    f"reserved {PROVIDER_ADDRESS_SPACE} block"
+                )
+            population = IPv4Network.parse(self.address_space)
+            if provider.base in population or population.base in provider:
+                raise ValueError(
+                    "population address space overlaps the provider pool "
+                    f"block {PROVIDER_ADDRESS_SPACE}"
+                )
 
     @property
     def num_chunks(self) -> int:
@@ -148,7 +221,7 @@ class PopulationConfig:
 
 def population_params(config: PopulationConfig) -> Dict[str, object]:
     """Canonical, JSON-able description of a config (cache keys, workers)."""
-    return {
+    params: Dict[str, object] = {
         "num_domains": config.num_domains,
         "mix": {c.value: config.mix[c] for c in sorted(config.mix, key=lambda c: c.value)},
         "transient_outage_rate": config.transient_outage_rate,
@@ -158,6 +231,15 @@ def population_params(config: PopulationConfig) -> Dict[str, object]:
         "address_space": config.address_space,
         "chunk_size": config.chunk_size,
     }
+    # Provider-pool and profile keys appear only when they deviate from the
+    # defaults, so pool-free configs keep their pre-pool cache identity.
+    if config.provider_pool_fraction > 0:
+        params["provider_pool_fraction"] = config.provider_pool_fraction
+        params["provider_pool_count"] = config.provider_pool_count
+        params["provider_equal_preference"] = config.provider_equal_preference
+    if config.profile != "figure2":
+        params["profile"] = config.profile
+    return params
 
 
 def population_from_params(params: Dict[str, object]) -> PopulationConfig:
@@ -169,6 +251,12 @@ def population_from_params(params: Dict[str, object]) -> PopulationConfig:
         persistent_outage_rate=float(params["persistent_outage_rate"]),
         extra_mx_weights=tuple(params["extra_mx_weights"]),
         dangling_mx_fraction=float(params["dangling_mx_fraction"]),
+        provider_pool_fraction=float(params.get("provider_pool_fraction", 0.0)),
+        provider_pool_count=int(params.get("provider_pool_count", 8)),
+        provider_equal_preference=float(
+            params.get("provider_equal_preference", 0.3)
+        ),
+        profile=str(params.get("profile", "figure2")),
         address_space=str(params["address_space"]),
         chunk_size=int(params["chunk_size"]),
     )
@@ -402,6 +490,8 @@ class SyntheticInternet:
         }
         self._mail_addresses: List[IPv4Address] = []
         self._listening: Dict[IPv4Address, bool] = {}
+        #: Provider pools already provisioned (zone + glue + listeners).
+        self._provider_pools: set = set()
         #: address -> scan index during which it is spuriously down
         self._down_during_scan: Dict[IPv4Address, int] = {}
         network = IPv4Network.parse(config.address_space)
@@ -444,6 +534,14 @@ class SyntheticInternet:
         outage_rng = chunk_rng.split("outages")
         mx_rng = chunk_rng.split("mx-count")
         misc_rng = chunk_rng.split("misconfig")
+        # The provider stream exists (and is drawn from) only when pools are
+        # enabled, so pool-free populations remain bit-identical to releases
+        # that predate provider pools.
+        provider_rng = (
+            chunk_rng.split("provider")
+            if self.config.provider_pool_fraction > 0
+            else None
+        )
         pool = self._pool.subpool(
             chunk_index * self.config.chunk_address_stride,
             self.config.chunk_address_stride,
@@ -459,8 +557,13 @@ class SyntheticInternet:
                 self._build_single(truth, pool)
                 self._maybe_transient(truth, outage_rng)
             elif category is DomainCategory.MULTI_MX:
-                self._build_multi(truth, pool, mx_rng)
-                if outage_rng.random() < self.config.persistent_outage_rate:
+                self._build_multi(truth, pool, mx_rng, provider_rng)
+                if truth.provider_pool is not None:
+                    # Pool exchangers are shared across domains; per-domain
+                    # outage draws would couple unrelated domains through a
+                    # common address, so pool-hosted domains take none.
+                    pass
+                elif outage_rng.random() < self.config.persistent_outage_rate:
                     self._apply_persistent_outage(truth)
                 else:
                     self._maybe_transient(truth, outage_rng)
@@ -494,14 +597,62 @@ class SyntheticInternet:
         self._allocate_mx(truth, pool, "smtp", 10, listening=True)
 
     def _build_multi(
-        self, truth: DomainTruth, pool: AddressPool, rng: RandomStream
+        self,
+        truth: DomainTruth,
+        pool: AddressPool,
+        rng: RandomStream,
+        provider_rng: Optional[RandomStream] = None,
     ) -> None:
         extra = rng.weighted_index(list(self.config.extra_mx_weights)) + 1
+        if provider_rng is not None:
+            # Fixed draw order (membership, pool id, layout) so the columnar
+            # replay can mirror this stream draw-for-draw.
+            if provider_rng.random() < self.config.provider_pool_fraction:
+                pool_id = provider_rng.randrange(self.config.provider_pool_count)
+                balanced = (
+                    provider_rng.random() < self.config.provider_equal_preference
+                )
+                self._attach_provider_pool(truth, pool_id, extra + 1, balanced)
+                return
         self._allocate_mx(truth, pool, "smtp", 10, listening=True)
         for i in range(extra):
             self._allocate_mx(
                 truth, pool, f"smtp{i + 1}", 10 * (i + 2), listening=True
             )
+
+    def _attach_provider_pool(
+        self, truth: DomainTruth, pool_id: int, count: int, balanced: bool
+    ) -> None:
+        """Point ``truth`` at ``count`` exchangers of a shared provider pool.
+
+        Fail-over pools advertise ascending preferences (10, 20, ...); load
+        balanced pools advertise every exchanger at preference 10, relying
+        on the scanner's ``(preference, exchange)`` tie-break — slot order,
+        by construction of :func:`provider_pool_host` — for determinism.
+        """
+        self._ensure_provider_pool(pool_id)
+        zone = self.zones.get_or_create(truth.name)
+        for slot in range(count):
+            hostname = provider_pool_host(pool_id, slot)
+            preference = 10 if balanced else 10 * (slot + 1)
+            zone.add_mx(preference, hostname)
+            truth.mx_hosts.append(
+                (hostname, preference, IPv4Address(provider_pool_address(pool_id, slot)))
+            )
+        truth.provider_pool = pool_id
+        truth.pool_balanced = balanced
+
+    def _ensure_provider_pool(self, pool_id: int) -> None:
+        """Provision pool ``pool_id``'s zone, glue and listeners once."""
+        if pool_id in self._provider_pools:
+            return
+        self._provider_pools.add(pool_id)
+        zone = self.zones.get_or_create(provider_pool_apex(pool_id))
+        for slot in range(POOL_HOSTS):
+            address = IPv4Address(provider_pool_address(pool_id, slot))
+            zone.add_a(provider_pool_host(pool_id, slot), address)
+            self._listening[address] = True
+            self._mail_addresses.append(address)
 
     def _build_nolisting(self, truth: DomainTruth, pool: AddressPool) -> None:
         # Primary resolves but refuses port 25; secondary works (Figure 1).

@@ -12,7 +12,7 @@ address list, producing the listening-host set.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..dns.resolver import DNSTimeout, NXDomain, ServFail, StubResolver
 from ..faults.model import FaultPlan
@@ -60,8 +60,13 @@ class DNSScanner:
         self.rng = rng
         self.faults = faults
 
-    def scan(self, scan_index: int) -> DNSScanDataset:
-        """Capture the population's DNS state.
+    def iter_observations(self, scan_index: int) -> Iterator[DomainObservation]:
+        """Stream the population's per-domain observations, one at a time.
+
+        The streaming core of :meth:`scan`: yields each domain's capture
+        as soon as it is resolved, holding no dataset — which is what lets
+        a columnar consumer fold observations into fixed-width columns
+        chunk by chunk instead of materializing the whole capture.
 
         Glue elision draws come from a per-domain RNG stream
         (``"elision:<scan>:<domain>"``), so whether a record's glue is
@@ -72,7 +77,6 @@ class DNSScanner:
         resolver = StubResolver(
             self.internet.zones, faults=self.faults, fault_epoch=scan_index
         )
-        dataset = DNSScanDataset(scan_index=scan_index)
         elide = self.glue_elision_rate > 0 and self.rng is not None
         for truth in self.internet.domains:
             observation = DomainObservation(domain=truth.name)
@@ -80,15 +84,15 @@ class DNSScanner:
                 answer = resolver.resolve_mx(truth.name)
             except NXDomain:
                 observation.nxdomain = True
-                dataset.add(observation)
+                yield observation
                 continue
             except DNSTimeout:
                 observation.timeout = True
-                dataset.add(observation)
+                yield observation
                 continue
             except ServFail:
                 observation.servfail = True
-                dataset.add(observation)
+                yield observation
                 continue
             elision_rng = (
                 self.rng.split(f"elision:{scan_index}:{truth.name}")
@@ -112,6 +116,12 @@ class DNSScanner:
                         address=address,
                     )
                 )
+            yield observation
+
+    def scan(self, scan_index: int) -> DNSScanDataset:
+        """Capture the population's DNS state as a materialized dataset."""
+        dataset = DNSScanDataset(scan_index=scan_index)
+        for observation in self.iter_observations(scan_index):
             dataset.add(observation)
         return dataset
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Iterable, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -56,6 +56,20 @@ class RandomStream:
     # ------------------------------------------------------------------
     def random(self) -> float:
         return self._rng.random()
+
+    def random_block(self, n: int) -> List[float]:
+        """Draw ``n`` uniforms in bulk — bit-identical to ``n`` :meth:`random` calls.
+
+        The columnar engines consume per-entity uniform draws by the
+        hundred-thousand; a tight comprehension over the bound C method is
+        several times faster than ``n`` Python-level :meth:`random` calls
+        while advancing the underlying Mersenne Twister state identically,
+        which is what keeps columnar and per-object runs bit-for-bit equal.
+        """
+        if n < 0:
+            raise ValueError("block size must be >= 0")
+        draw = self._rng.random
+        return [draw() for _ in range(n)]
 
     def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)
