@@ -75,6 +75,7 @@ def _cmd_internet_scale(args: argparse.Namespace) -> int:
         cache=cache,
         num_domains=args.domains,
         engine=args.engine,
+        store_backend=args.store_backend,
     )
     print(
         render_table(
@@ -145,6 +146,8 @@ def _cmd_kelihos(args: argparse.Namespace) -> int:
         args.threshold,
         num_messages=args.messages,
         seed=args.seed,
+        store_backend=args.store_backend,
+        store_path=args.store_path,
     )
     if args.threshold >= 21600:
         print(figure4_text(result))
@@ -183,7 +186,9 @@ def _cmd_synergy(args: argparse.Namespace) -> int:
         )
     )
     print()
-    sweep = sweep_greylist_delay(seed=args.seed)
+    sweep = sweep_greylist_delay(
+        seed=args.seed, store_backend=args.store_backend
+    )
     print(
         render_table(
             headers=("Greylist delay", "Delivery rate"),
@@ -354,6 +359,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="seed for fault draws (default: --seed)",
+    )
+    from .greylist.backends import BACKEND_NAMES
+
+    parser.add_argument(
+        "--store-backend",
+        choices=BACKEND_NAMES,
+        default="memory",
+        help=(
+            "triplet-store backend for greylisting policies (results are "
+            "bit-for-bit identical; sqlite/journal survive restarts)"
+        ),
+    )
+    parser.add_argument(
+        "--store-path",
+        metavar="PATH",
+        default=None,
+        help=(
+            "on-disk location for a durable triplet store "
+            "(default: volatile, even for sqlite/journal)"
+        ),
     )
     parser.add_argument(
         "--profile",

@@ -90,8 +90,14 @@ def run_internet_scale(
     session_cache: Optional[SessionOutcomeCache] = None,
     counters: Optional[BatchCounters] = None,
     chunk_domains: int = 100_000,
+    store_backend: str = "memory",
 ) -> InternetScaleResult:
     """Run one spam wave through a mixed-deployment internet.
+
+    ``store_backend`` selects the triplet-store backend of every
+    greylisted domain's policy (:mod:`repro.greylist.backends`);
+    backends are bit-for-bit equivalent, so results are identical for
+    any choice — which the backend-equivalence suite asserts.
 
     ``engine="object"`` simulates every DNS lookup, connection and SMTP
     dialogue on the event scheduler; ``engine="batch"`` collapses the wave
@@ -129,6 +135,7 @@ def run_internet_scale(
             session_cache=session_cache,
             counters=counters,
             chunk_domains=chunk_domains,
+            store_backend=store_backend,
         )
     rng = RandomStream(seed, "internet-scale")
     scheduler = EventScheduler(Clock())
@@ -149,7 +156,11 @@ def run_internet_scale(
             policy = None
             builder = setup_nolisting
         elif roll < nolisting_rate + greylisting_rate:
-            policy = GreylistPolicy(clock=scheduler.clock, delay=greylist_delay)
+            policy = GreylistPolicy(
+                clock=scheduler.clock,
+                delay=greylist_delay,
+                store_backend=store_backend,
+            )
             builder = setup_single_mx
         else:
             policy = None
@@ -277,6 +288,7 @@ def _resolve_wave(
     horizon: float,
     session_cache: Optional[SessionOutcomeCache],
     counters: Optional[BatchCounters],
+    store_backend: str = "memory",
 ) -> tuple:
     """Resolve every message of a replayed wave through session playbooks.
 
@@ -334,7 +346,7 @@ def _resolve_wave(
             playbook = cache.get_or_build(
                 (family.helo_name, deployment_fp, "open"),
                 lambda f=family: build_playbook(f.helo_name),
-            )
+            )  # no greylist policy in these sessions: no store involved
             if playbook.delivered:
                 per_family_delivered[family.name] += 1
             continue
@@ -345,6 +357,7 @@ def _resolve_wave(
                 f.helo_name,
                 greylist_delay=greylist_delay,
                 greylist_phase="new",
+                store_backend=store_backend,
             ),
         )
         if first.delivered:
@@ -373,6 +386,7 @@ def _resolve_wave(
                     f.helo_name,
                     greylist_delay=greylist_delay,
                     greylist_phase=p,
+                    store_backend=store_backend,
                 ),
             )
             if retry.delivered:
@@ -400,6 +414,7 @@ def _run_internet_scale_batched(
     session_cache: Optional[SessionOutcomeCache] = None,
     counters: Optional[BatchCounters] = None,
     chunk_domains: int = 100_000,
+    store_backend: str = "memory",
 ) -> InternetScaleResult:
     """The equivalence-class engine behind ``engine="batch"``.
 
@@ -431,6 +446,7 @@ def _run_internet_scale_batched(
         horizon,
         session_cache,
         counters,
+        store_backend=store_backend,
     )
     return _assemble_result(
         num_domains,
@@ -452,6 +468,7 @@ def _run_internet_scale_columnar(
     session_cache: Optional[SessionOutcomeCache] = None,
     counters: Optional[BatchCounters] = None,
     chunk_domains: int = 100_000,
+    store_backend: str = "memory",
 ) -> InternetScaleResult:
     """The streaming engine behind ``engine="columnar"``.
 
@@ -493,6 +510,7 @@ def _run_internet_scale_columnar(
         horizon,
         session_cache,
         counters,
+        store_backend=store_backend,
     )
     return _assemble_result(
         num_domains,
@@ -511,6 +529,7 @@ def sweep_deployment_rates(
     cache=None,
     num_domains: int = 60,
     engine: str = "object",
+    store_backend: str = "memory",
 ) -> List[InternetScaleResult]:
     """Block rate as deployment grows — the "what if adoption rose" curve.
 
@@ -539,6 +558,13 @@ def sweep_deployment_rates(
             # Only present when batching, so object-path payloads keep
             # their pre-batch-engine cache identity.
             **({"engine": engine} if engine != "object" else {}),
+            # Same idiom: the key exists only off the default backend, so
+            # memory-backend payloads keep their pre-backend cache identity.
+            **(
+                {"store_backend": store_backend}
+                if store_backend != "memory"
+                else {}
+            ),
         }
         for (grey, nolist) in rates
     ]

@@ -1,6 +1,17 @@
-"""Greylisting: triplet store, Postgrey-compatible policy, whitelists,
-persistence and cost accounting."""
+"""Greylisting: triplet store, pluggable storage backends,
+Postgrey-compatible policy, whitelists, persistence and cost
+accounting."""
 
+from .backends import (
+    BACKEND_NAMES,
+    JOURNAL_HEADER,
+    JournalBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    TripletBackend,
+    create_backend,
+    entry_is_expired,
+)
 from .cost import (
     BYTES_PER_DEFERRED_ATTEMPT,
     BYTES_PER_RETRY_PREAMBLE,
@@ -12,7 +23,9 @@ from .persistence import (
     FORMAT_HEADER,
     PersistenceError,
     dump_store,
+    format_entry_line,
     load_store,
+    parse_entry_line,
     save_compacted,
     snapshot_size_bytes,
 )
@@ -31,16 +44,26 @@ from .whitelist import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BYTES_PER_DEFERRED_ATTEMPT",
     "BYTES_PER_RETRY_PREAMBLE",
     "DAY",
     "DEFAULT_DELAY",
     "FORMAT_HEADER",
     "GreylistCostReport",
+    "JOURNAL_HEADER",
+    "JournalBackend",
+    "MemoryBackend",
     "PersistenceError",
+    "SQLiteBackend",
+    "TripletBackend",
+    "create_backend",
     "dump_store",
+    "entry_is_expired",
+    "format_entry_line",
     "load_store",
     "measure_cost",
+    "parse_entry_line",
     "save_compacted",
     "snapshot_size_bytes",
     "DEFAULT_WHITELISTED_DOMAINS",

@@ -1,0 +1,755 @@
+"""Pluggable storage backends for the triplet database.
+
+The paper's greylisting numbers depend on triplet state *surviving*: the
+university deployment kept its Postgrey BerkeleyDB across the whole
+four-month log window, and iRedAPD serves the same decisions for years
+from a SQL ``greylisting_tracking`` table.  This module extracts the
+storage concern out of :class:`~repro.greylist.store.TripletStore` into a
+narrow :class:`TripletBackend` interface so the simulated and (future)
+served policy paths share one durable core:
+
+* :class:`MemoryBackend` — the original in-process dict; the default, and
+  the behavioural reference for the other two.
+* :class:`SQLiteBackend` — a WAL-mode SQLite database with an
+  iRedAPD-style tracking schema (triplet key columns, first/last-seen
+  timestamps, attempt counter, pass marker) plus an expiry index, for
+  durable multi-worker serving.
+* :class:`JournalBackend` — an append-only snapshot+log on the
+  :mod:`~repro.greylist.persistence` v1 line format, for cheap
+  checkpoint/resume of longitudinal campaigns.
+
+Determinism contract: every backend must be *bit-for-bit* equivalent —
+identical :class:`~repro.greylist.policy.GreylistEvent` streams, store
+sizes and expiry counters for identical input streams.  The rules that
+make this hold:
+
+1. The expiry predicate is :func:`entry_is_expired` and nothing else.
+   The SQLite backend may use its index to *pre-filter candidates*
+   (with a slack margin), but the final decision is always the exact
+   float comparison this function performs — SQL inequalities on
+   ``REAL`` columns are never trusted to reproduce Python float
+   semantics at the boundary.
+2. Timestamps round-trip exactly: SQLite ``REAL`` is an IEEE double
+   (lossless), and the journal reuses the snapshot format's ``repr()``
+   encoding (shortest exact decimal).
+3. ``scan()`` order is insertion order (updates keep an entry's
+   position; a delete + re-insert moves it to the end), which all three
+   backends implement — the dict natively, SQLite via an
+   ``AUTOINCREMENT`` rowid, the journal via replay order.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..net.address import IPv4Address
+from .store import TripletEntry
+from .triplet import Triplet
+
+#: Backend names :func:`create_backend` understands (CLI choices).
+BACKEND_NAMES = ("memory", "sqlite", "journal")
+
+#: Header of a journal (op log) file; the snapshot half of the pair uses
+#: the ordinary persistence FORMAT_HEADER.
+JOURNAL_HEADER = "# repro-greylist-journal v1"
+
+#: Added to SQL expiry cutoffs so the indexed candidate pre-filter can
+#: never *miss* an entry the exact Python predicate would expire (float
+#: rounding at the boundary is ulp-scale; one second is beyond generous).
+_EXPIRY_SLACK = 1.0
+
+
+def timestamps_expired(
+    passed: bool,
+    last_seen: float,
+    now: float,
+    retry_window: float,
+    whitelist_lifetime: float,
+) -> bool:
+    """The one true expiry predicate on raw fields.
+
+    Split out from :func:`entry_is_expired` so backends that already hold
+    ``(passed, last_seen)`` as scalars (the SQLite expiry path) can apply
+    the *identical* float comparison without materializing an entry.
+    """
+    if passed:
+        return now - last_seen > whitelist_lifetime
+    return now - last_seen > retry_window
+
+
+def entry_is_expired(
+    entry: TripletEntry,
+    now: float,
+    retry_window: float,
+    whitelist_lifetime: float,
+) -> bool:
+    """The one true expiry predicate (see the determinism contract)."""
+    return timestamps_expired(
+        entry.passed, entry.last_seen, now, retry_window, whitelist_lifetime
+    )
+
+
+class TripletBackend(ABC):
+    """Storage interface behind :class:`~repro.greylist.store.TripletStore`.
+
+    Implementations store :class:`TripletEntry` rows keyed by their
+    :class:`Triplet`.  The policy veneer owns the clock, the expiry
+    windows and the expiry *counters*; backends own bytes and atomicity.
+    """
+
+    #: Registry name (matches :func:`create_backend`).
+    name = "abstract"
+
+    @abstractmethod
+    def get(self, triplet: Triplet) -> Optional[TripletEntry]:
+        """Fetch the entry for a triplet, or ``None``.  No expiry logic."""
+
+    @abstractmethod
+    def put(self, entry: TripletEntry) -> None:
+        """Insert or update an entry (keyed by ``entry.triplet``)."""
+
+    @abstractmethod
+    def delete(self, triplet: Triplet) -> bool:
+        """Remove an entry; returns whether it existed."""
+
+    @abstractmethod
+    def scan(self) -> Iterator[TripletEntry]:
+        """Iterate every entry in insertion order (snapshot semantics:
+        mutating the backend while consuming the iterator is allowed)."""
+
+    @abstractmethod
+    def expire(
+        self, now: float, retry_window: float, whitelist_lifetime: float
+    ) -> Tuple[int, int]:
+        """Bulk-delete every expired entry.
+
+        Returns ``(unconfirmed, confirmed)`` removal counts — the inputs
+        to the store's ``expired_unconfirmed`` / ``expired_confirmed``
+        counters.  Must implement exactly :func:`entry_is_expired`.
+        """
+
+    @abstractmethod
+    def mark_passed(self, triplet: Triplet, now: float) -> bool:
+        """Atomically set ``passed=True, passed_at=now`` if the entry
+        exists and has not passed yet; returns whether it changed.
+
+        This is the one compound operation the serving path needs to be
+        transactional (two workers may race on the same retry).
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries (expired-but-unswept ones included)."""
+
+    def confirmed_count(self) -> int:
+        """Number of entries with ``passed=True`` (no expiry check)."""
+        return sum(1 for entry in self.scan() if entry.passed)
+
+    def bulk_load(self, entries: List[TripletEntry]) -> None:
+        """Insert many entries at once (snapshot load, benchmarks)."""
+        for entry in entries:
+            self.put(entry)
+
+    def flush(self) -> None:
+        """Make buffered writes durable.  No-op for volatile backends."""
+
+    def close(self) -> None:
+        """Flush and release resources.  Idempotent."""
+        self.flush()
+
+
+# ----------------------------------------------------------------------
+# In-memory dict (the original TripletStore storage, extracted)
+# ----------------------------------------------------------------------
+class MemoryBackend(TripletBackend):
+    """The process-local dict backend — default, zero behaviour change."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._entries: Dict[Triplet, TripletEntry] = {}
+
+    def get(self, triplet: Triplet) -> Optional[TripletEntry]:
+        return self._entries.get(triplet)
+
+    def put(self, entry: TripletEntry) -> None:
+        self._entries[entry.triplet] = entry
+
+    def delete(self, triplet: Triplet) -> bool:
+        return self._entries.pop(triplet, None) is not None
+
+    def scan(self) -> Iterator[TripletEntry]:
+        return iter(list(self._entries.values()))
+
+    def expire(
+        self, now: float, retry_window: float, whitelist_lifetime: float
+    ) -> Tuple[int, int]:
+        stale = [
+            triplet
+            for triplet, entry in self._entries.items()
+            if entry_is_expired(entry, now, retry_window, whitelist_lifetime)
+        ]
+        unconfirmed = confirmed = 0
+        for triplet in stale:
+            if self._entries.pop(triplet).passed:
+                confirmed += 1
+            else:
+                unconfirmed += 1
+        return unconfirmed, confirmed
+
+    def mark_passed(self, triplet: Triplet, now: float) -> bool:
+        entry = self._entries.get(triplet)
+        if entry is None or entry.passed:
+            return False
+        entry.passed = True
+        entry.passed_at = now
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# SQLite (WAL) — the iRedAPD greylisting_tracking shape
+# ----------------------------------------------------------------------
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS greylisting_tracking (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    client      INTEGER NOT NULL,
+    sender      TEXT    NOT NULL,
+    recipient   TEXT    NOT NULL,
+    first_seen  REAL    NOT NULL,
+    last_seen   REAL    NOT NULL,
+    attempts    INTEGER NOT NULL,
+    passed      INTEGER NOT NULL DEFAULT 0,
+    passed_at   REAL,
+    UNIQUE (client, sender, recipient)
+);
+CREATE INDEX IF NOT EXISTS ix_greylisting_expiry
+    ON greylisting_tracking (passed, last_seen);
+"""
+
+_COLUMNS = (
+    "client, sender, recipient, first_seen, last_seen, "
+    "attempts, passed, passed_at"
+)
+
+
+class SQLiteBackend(TripletBackend):
+    """Triplet rows in a WAL-mode SQLite database.
+
+    The schema follows iRedAPD's ``greylisting_tracking`` table: the
+    triplet key columns, first/last-seen timestamps, an attempt counter
+    and the pass marker, with a ``(passed, last_seen)`` index so expiry
+    sweeps are range scans rather than full-table scans.  WAL mode lets
+    a future policy server read from several workers while one writer
+    appends — the concurrency model Postfix policy daemons need.
+
+    Writes are batched: the connection stays inside an explicit
+    transaction that is committed every ``commit_every`` mutations (and
+    on :meth:`flush`/:meth:`close`).  Reads on the same connection see
+    the uncommitted batch, so batching is invisible to the simulation.
+
+    ``path=None`` opens a private in-memory database — handy for
+    equivalence tests and worker processes that only need the schema,
+    not durability.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        commit_every: int = 1024,
+    ) -> None:
+        if commit_every < 1:
+            raise ValueError("commit_every must be >= 1")
+        self.path = str(path) if path is not None else None
+        self.commit_every = commit_every
+        self._conn = sqlite3.connect(self.path or ":memory:")
+        self._conn.isolation_level = None  # explicit transaction control
+        if self.path is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA temp_store=MEMORY")
+        # The expiry index keys on last_seen, so its inserts/deletes land
+        # in random pages; the 2 MiB default cache thrashes at
+        # million-entry scale (bulk loads and sweeps go I/O bound).
+        # 64 MiB keeps the working set resident.
+        self._conn.execute("PRAGMA cache_size=-65536")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._pending = 0
+        self._closed = False
+
+    # -- batching ------------------------------------------------------
+    def _mutated(self, count: int = 1) -> None:
+        self._pending += count
+        if self._pending >= self.commit_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._pending or self._conn.in_transaction:
+            self._conn.commit()
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._conn.close()
+        self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Best-effort teardown: interpreter shutdown may have torn down
+        # sqlite3 internals already, and a destructor must never raise.
+        try:
+            self.close()
+        except Exception:  # repro: noqa EXC001 - destructors must not raise
+            pass
+
+    # -- row mapping ---------------------------------------------------
+    @staticmethod
+    def _entry_from_row(row: tuple) -> TripletEntry:
+        client, sender, recipient, first, last, attempts, passed, passed_at = row
+        return TripletEntry(
+            triplet=Triplet(IPv4Address(client), sender, recipient),
+            first_seen=first,
+            last_seen=last,
+            attempts=attempts,
+            passed=bool(passed),
+            passed_at=passed_at,
+        )
+
+    @staticmethod
+    def _row_from_entry(entry: TripletEntry) -> tuple:
+        triplet = entry.triplet
+        return (
+            triplet.client.value,
+            triplet.sender,
+            triplet.recipient,
+            entry.first_seen,
+            entry.last_seen,
+            entry.attempts,
+            1 if entry.passed else 0,
+            entry.passed_at,
+        )
+
+    # -- interface -----------------------------------------------------
+    def get(self, triplet: Triplet) -> Optional[TripletEntry]:
+        # Hot path of every RCPT decision: select only the state columns
+        # and reuse the caller's (already canonical) triplet — rebuilding
+        # one re-validates both addresses and dominates the lookup cost.
+        row = self._conn.execute(
+            "SELECT first_seen, last_seen, attempts, passed, passed_at"
+            " FROM greylisting_tracking"
+            " WHERE client=? AND sender=? AND recipient=?",
+            (triplet.client.value, triplet.sender, triplet.recipient),
+        ).fetchone()
+        if row is None:
+            return None
+        return TripletEntry(
+            triplet=triplet,
+            first_seen=row[0],
+            last_seen=row[1],
+            attempts=row[2],
+            passed=bool(row[3]),
+            passed_at=row[4],
+        )
+
+    def put(self, entry: TripletEntry) -> None:
+        self._conn.execute(
+            "INSERT INTO greylisting_tracking"
+            f" ({_COLUMNS}) VALUES (?,?,?,?,?,?,?,?)"
+            " ON CONFLICT(client, sender, recipient) DO UPDATE SET"
+            " first_seen=excluded.first_seen, last_seen=excluded.last_seen,"
+            " attempts=excluded.attempts, passed=excluded.passed,"
+            " passed_at=excluded.passed_at",
+            self._row_from_entry(entry),
+        )
+        self._mutated()
+
+    def bulk_load(self, entries: List[TripletEntry]) -> None:
+        self._conn.executemany(
+            "INSERT INTO greylisting_tracking"
+            f" ({_COLUMNS}) VALUES (?,?,?,?,?,?,?,?)"
+            " ON CONFLICT(client, sender, recipient) DO UPDATE SET"
+            " first_seen=excluded.first_seen, last_seen=excluded.last_seen,"
+            " attempts=excluded.attempts, passed=excluded.passed,"
+            " passed_at=excluded.passed_at",
+            [self._row_from_entry(entry) for entry in entries],
+        )
+        self._mutated(len(entries))
+
+    def delete(self, triplet: Triplet) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM greylisting_tracking"
+            " WHERE client=? AND sender=? AND recipient=?",
+            (triplet.client.value, triplet.sender, triplet.recipient),
+        )
+        if cursor.rowcount > 0:
+            self._mutated()
+            return True
+        return False
+
+    def scan(self) -> Iterator[TripletEntry]:
+        # A dedicated cursor with fetchmany keeps memory flat at millions
+        # of rows; ORDER BY id is insertion order (AUTOINCREMENT ids are
+        # never reused, so delete + re-insert moves to the end, exactly
+        # like a dict).
+        cursor = self._conn.execute(
+            f"SELECT {_COLUMNS} FROM greylisting_tracking ORDER BY id"
+        )
+        while True:
+            rows = cursor.fetchmany(4096)
+            if not rows:
+                return
+            for row in rows:
+                yield self._entry_from_row(row)
+
+    def expire(
+        self, now: float, retry_window: float, whitelist_lifetime: float
+    ) -> Tuple[int, int]:
+        # Indexed candidate pre-filter with slack, exact predicate in
+        # Python (determinism contract rule 1), then a batched delete.
+        # Only (id, passed, last_seen) leave SQLite: the predicate needs
+        # nothing else, and materializing entries (with their address
+        # re-validation) would dominate a million-row sweep.
+        candidates = self._conn.execute(
+            "SELECT id, passed, last_seen FROM greylisting_tracking"
+            " WHERE (passed=0 AND last_seen <= ?)"
+            "    OR (passed=1 AND last_seen <= ?)",
+            (
+                now - retry_window + _EXPIRY_SLACK,
+                now - whitelist_lifetime + _EXPIRY_SLACK,
+            ),
+        ).fetchall()
+        doomed: List[int] = []
+        unconfirmed = confirmed = 0
+        for rowid, passed, last_seen in candidates:
+            if timestamps_expired(
+                passed, last_seen, now, retry_window, whitelist_lifetime
+            ):
+                doomed.append(rowid)
+                if passed:
+                    confirmed += 1
+                else:
+                    unconfirmed += 1
+        # Chunked IN-list deletes: ~1000x fewer statements than a
+        # one-row-per-execute plan at million-entry sweeps.
+        for start in range(0, len(doomed), 500):
+            chunk = doomed[start:start + 500]
+            self._conn.execute(
+                "DELETE FROM greylisting_tracking WHERE id IN"
+                f" ({','.join('?' * len(chunk))})",
+                chunk,
+            )
+        if doomed:
+            self._mutated(len(doomed))
+        return unconfirmed, confirmed
+
+    def mark_passed(self, triplet: Triplet, now: float) -> bool:
+        cursor = self._conn.execute(
+            "UPDATE greylisting_tracking SET passed=1, passed_at=?"
+            " WHERE client=? AND sender=? AND recipient=? AND passed=0",
+            (now, triplet.client.value, triplet.sender, triplet.recipient),
+        )
+        if cursor.rowcount > 0:
+            self._mutated()
+            return True
+        return False
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM greylisting_tracking"
+        ).fetchone()
+        return int(row[0])
+
+    def confirmed_count(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM greylisting_tracking WHERE passed=1"
+        ).fetchone()
+        return int(row[0])
+
+
+# ----------------------------------------------------------------------
+# Append-only journal (snapshot + op log)
+# ----------------------------------------------------------------------
+class JournalBackend(TripletBackend):
+    """Dict state with an append-only recovery log.
+
+    The durable pair is ``<path>`` (a full v1 snapshot, written by
+    :meth:`checkpoint`) and ``<path>.journal`` (one line per mutation
+    since that snapshot).  Upserts reuse the persistence module's v1
+    entry-line format verbatim; deletions append a ``-``-prefixed
+    tombstone.  Recovery loads the snapshot, then replays the journal in
+    order — making restart cost proportional to the churn since the last
+    checkpoint, not to history.
+
+    Crash semantics: a torn final journal line (the write the crash
+    interrupted) is quarantined to ``<path>.journal.corrupt`` and
+    dropped — everything durable before it is recovered.  A malformed
+    line *followed by more data* is real corruption: the journal is
+    quarantined and :class:`~repro.greylist.persistence.PersistenceError`
+    names the line.
+
+    ``path=None`` keeps the journal in an in-memory buffer: identical
+    code path and op stream, no filesystem — the configuration the
+    equivalence suite uses.
+    """
+
+    name = "journal"
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+        self.path = Path(path) if path is not None else None
+        self.checkpoint_every = checkpoint_every
+        self._entries: Dict[Triplet, TripletEntry] = {}
+        #: mutations appended since the last checkpoint
+        self.journal_ops = 0
+        #: whether recovery dropped a torn final journal line
+        self.recovered_torn_tail = False
+        if self.path is not None:
+            self._recover()
+            self._journal = open(self._journal_path, "a", encoding="utf-8")
+        else:
+            self._journal = io.StringIO()
+            self._journal.write(JOURNAL_HEADER + "\n")
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def _journal_path(self) -> Path:
+        assert self.path is not None
+        return self.path.with_name(self.path.name + ".journal")
+
+    # -- recovery ------------------------------------------------------
+    def _recover(self) -> None:
+        from .persistence import (
+            FORMAT_HEADER,
+            PersistenceError,
+            parse_entry_line,
+        )
+
+        assert self.path is not None
+        if self.path.exists():
+            text = self.path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            if not lines or lines[0].strip() != FORMAT_HEADER:
+                raise PersistenceError(
+                    f"{self.path}: missing or unknown snapshot header"
+                )
+            for number, line in enumerate(lines[1:], start=2):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                entry = parse_entry_line(line, number)
+                self._entries[entry.triplet] = entry
+
+        journal_path = self._journal_path
+        if not journal_path.exists():
+            # Fresh journal next to an existing (or absent) snapshot.
+            with open(journal_path, "w", encoding="utf-8") as handle:
+                handle.write(JOURNAL_HEADER + "\n")
+            return
+        text = journal_path.read_text(encoding="utf-8")
+        torn_tail: Optional[str] = None
+        if text and not text.endswith("\n"):
+            # The crash interrupted the final append; the partial record
+            # never became durable.  Drop and quarantine it.
+            text, _, torn_tail = text.rpartition("\n")
+        self._replay_journal(text)
+        if torn_tail is not None:
+            self.recovered_torn_tail = True
+            quarantine = journal_path.with_name(
+                journal_path.name + ".corrupt"
+            )
+            quarantine.write_text(torn_tail, encoding="utf-8")
+            journal_path.write_text(
+                text + ("\n" if text else ""), encoding="utf-8"
+            )
+
+    def _replay_journal(self, text: str) -> None:
+        from .persistence import PersistenceError, parse_entry_line
+
+        lines = text.splitlines()
+        if not lines or lines[0].strip() != JOURNAL_HEADER:
+            self._quarantine_journal()
+            raise PersistenceError(
+                f"{self._journal_path}: missing or unknown journal header"
+            )
+        for number, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("- "):
+                parts = line[2:].split()
+                if len(parts) != 3:
+                    self._quarantine_journal()
+                    raise PersistenceError(
+                        f"malformed journal tombstone line {number}: {line!r}"
+                    )
+                try:
+                    triplet = Triplet(
+                        IPv4Address.parse(parts[0]), parts[1], parts[2]
+                    )
+                except ValueError:
+                    self._quarantine_journal()
+                    raise PersistenceError(
+                        f"malformed journal tombstone line {number}: {line!r}"
+                    ) from None
+                self._entries.pop(triplet, None)
+                self.journal_ops += 1
+                continue
+            try:
+                entry = parse_entry_line(line, number)
+            except PersistenceError:
+                self._quarantine_journal()
+                raise PersistenceError(
+                    f"malformed journal line {number}: {line!r}"
+                ) from None
+            self._entries[entry.triplet] = entry
+            self.journal_ops += 1
+
+    def _quarantine_journal(self) -> None:
+        """Copy a corrupt journal aside so the evidence survives."""
+        if self.path is None:  # pragma: no cover - in-memory never corrupt
+            return
+        journal_path = self._journal_path
+        if journal_path.exists():
+            quarantine = journal_path.with_name(
+                journal_path.name + ".corrupt"
+            )
+            os.replace(journal_path, quarantine)
+
+    # -- journalling ---------------------------------------------------
+    def _append(self, line: str) -> None:
+        self._journal.write(line + "\n")
+        self.journal_ops += 1
+        if (
+            self.checkpoint_every is not None
+            and self.journal_ops >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Write a full snapshot and truncate the journal.
+
+        Returns the number of entries snapshotted.  In-memory journals
+        just reset their buffer (same op-count semantics).
+        """
+        from .persistence import FORMAT_HEADER, format_entry_line
+
+        lines = [FORMAT_HEADER]
+        lines.extend(format_entry_line(e) for e in self._entries.values())
+        snapshot = "\n".join(lines) + "\n"
+        if self.path is not None:
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(snapshot, encoding="utf-8")
+            os.replace(tmp, self.path)
+            self._journal.close()
+            self._journal = open(self._journal_path, "w", encoding="utf-8")
+        else:
+            self._journal = io.StringIO()
+        self._journal.write(JOURNAL_HEADER + "\n")
+        # Make the fresh header durable at once: a crash between here and
+        # the next flush must not leave a header-less journal behind.
+        self.flush()
+        self.journal_ops = 0
+        return len(self._entries)
+
+    # -- interface -----------------------------------------------------
+    def get(self, triplet: Triplet) -> Optional[TripletEntry]:
+        return self._entries.get(triplet)
+
+    def put(self, entry: TripletEntry) -> None:
+        from .persistence import format_entry_line
+
+        self._entries[entry.triplet] = entry
+        self._append(format_entry_line(entry))
+
+    def delete(self, triplet: Triplet) -> bool:
+        if self._entries.pop(triplet, None) is None:
+            return False
+        self._append(
+            f"- {triplet.client} {triplet.sender} {triplet.recipient}"
+        )
+        return True
+
+    def scan(self) -> Iterator[TripletEntry]:
+        return iter(list(self._entries.values()))
+
+    def expire(
+        self, now: float, retry_window: float, whitelist_lifetime: float
+    ) -> Tuple[int, int]:
+        stale = [
+            triplet
+            for triplet, entry in self._entries.items()
+            if entry_is_expired(entry, now, retry_window, whitelist_lifetime)
+        ]
+        unconfirmed = confirmed = 0
+        for triplet in stale:
+            entry = self._entries.pop(triplet)
+            self._append(
+                f"- {triplet.client} {triplet.sender} {triplet.recipient}"
+            )
+            if entry.passed:
+                confirmed += 1
+            else:
+                unconfirmed += 1
+        return unconfirmed, confirmed
+
+    def mark_passed(self, triplet: Triplet, now: float) -> bool:
+        from .persistence import format_entry_line
+
+        entry = self._entries.get(triplet)
+        if entry is None or entry.passed:
+            return False
+        entry.passed = True
+        entry.passed_at = now
+        self._append(format_entry_line(entry))
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def flush(self) -> None:
+        if self.path is not None:
+            self._journal.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self.path is not None and not self._journal.closed:
+            self._journal.close()
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+def create_backend(
+    name: str, path: Union[str, Path, None] = None
+) -> TripletBackend:
+    """Build a backend by registry name (``memory``/``sqlite``/``journal``).
+
+    ``path`` is the on-disk location for the durable backends (ignored by
+    ``memory``; ``None`` means volatile operation for all three).
+    """
+    if name == "memory":
+        return MemoryBackend()
+    if name == "sqlite":
+        return SQLiteBackend(path)
+    if name == "journal":
+        return JournalBackend(path)
+    raise ValueError(
+        f"unknown triplet-store backend {name!r}; expected one of "
+        + ", ".join(BACKEND_NAMES)
+    )

@@ -32,7 +32,10 @@ class Whitelist:
         self._addresses.add(address)
 
     def add_network(self, network: IPv4Network) -> None:
-        self._networks.append(network)
+        # Deduplicated but order-preserving: matching scans this list, so
+        # repeated adds (or merges) must not inflate the per-lookup cost.
+        if network not in self._networks:
+            self._networks.append(network)
 
     def add_cidr(self, cidr: str) -> None:
         self.add_network(IPv4Network.parse(cidr))
@@ -41,14 +44,23 @@ class Whitelist:
         self._sender_domains.add(domain.strip().lower().rstrip("."))
 
     def add_helo_suffix(self, suffix: str) -> None:
-        self._helo_suffixes.append(suffix.strip().lower().rstrip("."))
+        suffix = suffix.strip().lower().rstrip(".")
+        if suffix not in self._helo_suffixes:
+            self._helo_suffixes.append(suffix)
 
     def update(self, other: "Whitelist") -> None:
-        """Merge another whitelist into this one."""
+        """Merge another whitelist into this one.
+
+        Idempotent: merging the same whitelist twice (or two lists with
+        overlapping entries) leaves one copy of each network and HELO
+        suffix, so repeated merges don't linearly inflate match cost.
+        """
         self._addresses |= other._addresses
-        self._networks.extend(other._networks)
+        for network in other._networks:
+            self.add_network(network)
         self._sender_domains |= other._sender_domains
-        self._helo_suffixes.extend(other._helo_suffixes)
+        for suffix in other._helo_suffixes:
+            self.add_helo_suffix(suffix)
 
     # ------------------------------------------------------------------
     # Matching
@@ -59,7 +71,13 @@ class Whitelist:
         return any(client in network for network in self._networks)
 
     def matches_sender(self, sender: str) -> bool:
-        return domain_of(sender) in self._sender_domains
+        # Stored domains are lowercased on add; the probe must be too, or
+        # ``User@Gmail.com`` misses a ``gmail.com`` entry (domains are
+        # case-insensitive per RFC 1035, and senders arrive raw here —
+        # before triplet canonicalization).
+        return (
+            domain_of(sender).lower().rstrip(".") in self._sender_domains
+        )
 
     def matches_helo(self, helo_name: Optional[str]) -> bool:
         if not helo_name:

@@ -69,6 +69,22 @@ class TestPersistence:
         assert restored.lookup(triplet(1)) is None
         assert restored.lookup(triplet(0)) is not None
 
+    def test_expired_entries_counted_on_load(self):
+        # Regression: load_store used to drop expired entries silently, so
+        # a loaded store's expiry counters drifted from a live replay's.
+        clock, store = self._populated_store()
+        text = dump_store(store)
+        late_clock = Clock(start=clock.now + 40 * DAY)  # expires both
+        restored = load_store(text, late_clock)
+        assert restored.size == 0
+        assert restored.expired_unconfirmed == 1
+        assert restored.expired_confirmed == 1
+
+    def test_load_malformed_line_names_line_number(self):
+        text = FORMAT_HEADER + "\nok-is-not-enough\nonly three fields\n"
+        with pytest.raises(PersistenceError, match="line 2"):
+            load_store(text, Clock())
+
     def test_header_required(self):
         with pytest.raises(PersistenceError):
             load_store("not a snapshot", Clock())

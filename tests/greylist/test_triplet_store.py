@@ -134,3 +134,30 @@ class TestTripletStore:
             TripletStore(Clock(), retry_window=0)
         with pytest.raises(ValueError):
             TripletStore(Clock(), whitelist_lifetime=-1)
+
+    def test_mark_passed_does_not_resurrect_expired_triplet(self):
+        # Regression: mark_passed used to read the raw entry dict, so an
+        # expired-but-unswept triplet could be confirmed past its retry
+        # window.  It must expire (and count) like any other lookup.
+        clock = Clock()
+        store = TripletStore(clock, retry_window=2 * DAY)
+        store.observe(triplet())
+        clock.advance_by(2 * DAY + 1)
+        with pytest.raises(KeyError):
+            store.mark_passed(triplet())
+        assert store.expired_unconfirmed == 1
+        assert store.confirmed == 0
+        assert store.size == 0
+
+    def test_works_on_every_backend(self):
+        from repro.greylist.backends import create_backend
+
+        for name in ("memory", "sqlite", "journal"):
+            clock = Clock()
+            store = TripletStore(clock, backend=create_backend(name))
+            store.observe(triplet())
+            clock.advance_by(400)
+            store.observe(triplet())
+            store.mark_passed(triplet())
+            assert store.confirmed == 1, name
+            assert name in repr(store)

@@ -64,6 +64,39 @@ class TestWhitelistMatching:
         assert a.matches_client(addr("1.2.3.4"))
         assert a.matches_sender("x@gmail.com")
 
+    def test_sender_matching_is_case_insensitive(self):
+        # Regression: the probe side was never lowercased, so a raw
+        # ``User@Gmail.com`` missed a ``gmail.com`` entry.
+        whitelist = Whitelist()
+        whitelist.add_sender_domain("gmail.com")
+        assert whitelist.matches_sender("User@Gmail.com")
+        assert whitelist.matches_sender("User@GMAIL.COM.")
+        assert not whitelist.matches_sender("User@gmail.com.evil.net")
+
+    def test_update_deduplicates_networks_and_suffixes(self):
+        # Regression: merging overlapping whitelists used to append
+        # duplicate networks/HELO suffixes, inflating per-lookup cost.
+        a = Whitelist()
+        a.add_cidr("10.1.0.0/16")
+        a.add_helo_suffix("google.com")
+        b = Whitelist()
+        b.add_cidr("10.1.0.0/16")
+        b.add_helo_suffix("Google.COM")
+        for _ in range(3):
+            a.update(b)
+        assert len(a._networks) == 1
+        assert len(a._helo_suffixes) == 1
+        assert a.matches_client(addr("10.1.2.3"))
+        assert a.matches_helo("mx.google.com")
+
+    def test_repeated_adds_deduplicate(self):
+        whitelist = Whitelist()
+        for _ in range(4):
+            whitelist.add_cidr("10.1.0.0/16")
+            whitelist.add_helo_suffix("google.com")
+        assert len(whitelist._networks) == 1
+        assert len(whitelist._helo_suffixes) == 1
+
 
 class TestDefaultProviderWhitelist:
     def test_covers_all_table3_providers(self):
