@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-json profile scorecard examples all clean
+.PHONY: install test lint lint-baseline graph-report bench bench-smoke bench-json \
+	profile scorecard examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,16 +11,33 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Determinism/invariant linter always runs (stdlib-only); ruff and mypy run
-# when installed (CI installs them; the pinned local env may not have them).
+# Whole-program determinism/invariant analyzer always runs (stdlib-only):
+# per-file checkers plus the call-graph phase, over the package AND the
+# test/bench/script trees, ratcheted against .repro-lint-baseline.json.
+# ruff and mypy run when installed (CI installs them; the pinned local
+# env may not have them).
+LINT_PATHS := src/repro tests benchmarks scripts
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS)
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
-		then ruff check src tests benchmarks examples; \
+		then ruff check src tests benchmarks examples scripts; \
 		else echo "ruff not installed; skipping"; fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
-		then $(PYTHON) -m mypy src/repro; \
+		then $(PYTHON) -m mypy src/repro scripts/check_bench_regression.py; \
 		else echo "mypy not installed; skipping"; fi
+
+# Refresh the grandfathered-finding baseline (only when a finding is
+# consciously accepted; the ratchet otherwise only goes down).
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) --write-baseline
+
+# Whole-program artefacts: call-graph dump and API-surface/dead-symbol
+# report (same JSON CI uploads).
+graph-report:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--json --graph-json lint-callgraph.json --api-report lint-api.json \
+		> lint-findings.json || true
+	@echo "wrote lint-findings.json lint-callgraph.json lint-api.json"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -28,7 +28,7 @@ import json
 import os
 import statistics
 import sys
-from typing import Dict
+from typing import Dict, List, Sequence
 
 THRESHOLD = 1.25
 
@@ -43,7 +43,7 @@ def load_minimums(path: str) -> Dict[str, float]:
     }
 
 
-def main(argv: list) -> int:
+def main(argv: Sequence[str]) -> int:
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -76,7 +76,7 @@ def main(argv: list) -> int:
         f"machine-speed scale (median ratio) = {scale:.3f}"
     )
 
-    regressions = []
+    regressions: List[str] = []
     for name in shared:
         normalized = ratios[name] / scale
         marker = " <-- REGRESSION" if normalized > THRESHOLD else ""

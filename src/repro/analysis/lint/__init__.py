@@ -8,13 +8,19 @@ and suppression syntax (``# repro: noqa RULE-ID``).
 
 * :mod:`~repro.analysis.lint.framework` — AST walker, checker registry,
   noqa handling;
-* :mod:`~repro.analysis.lint.checkers` — the shipped rule suite;
+* :mod:`~repro.analysis.lint.checkers` — the shipped per-file rule suite;
+* :mod:`~repro.analysis.lint.graph` — whole-program phase: symbol table,
+  call graph, interprocedural rules (DET001, RNG002, SHM001, ASY001,
+  CCH001);
+* :mod:`~repro.analysis.lint.analyze` — the two-phase driver
+  (:func:`~repro.analysis.lint.analyze.analyze_paths`);
 * :mod:`~repro.analysis.lint.baseline` — grandfathered-finding ratchet;
 * :mod:`~repro.analysis.lint.report` — human and JSON reporters;
 * :mod:`~repro.analysis.lint.cli` — the ``python -m repro.analysis``
   front end.
 """
 
+from .analyze import AnalysisResult, analyze_contexts, analyze_paths, run_graph_rules
 from .baseline import Baseline, BaselineError
 from .findings import Finding, Severity
 from .framework import (
@@ -25,19 +31,27 @@ from .framework import (
     lint_paths,
     lint_source,
 )
+from .graph import GraphRule, Project, default_graph_rules
 from .report import render_human, render_json
 
 __all__ = [
+    "AnalysisResult",
     "Baseline",
     "BaselineError",
     "Checker",
     "Finding",
+    "GraphRule",
     "LintResult",
     "ModuleContext",
+    "Project",
     "Severity",
+    "analyze_contexts",
+    "analyze_paths",
     "default_checkers",
+    "default_graph_rules",
     "lint_paths",
     "lint_source",
     "render_human",
     "render_json",
+    "run_graph_rules",
 ]

@@ -1,19 +1,24 @@
 """Command-line front end: ``python -m repro.analysis``.
 
-Exit codes: ``0`` clean (or only grandfathered findings), ``1`` new
-findings, ``2`` usage or baseline errors.
+Runs both analysis phases — per-file checkers and the whole-program
+graph rules — over the given paths.  Exit codes: ``0`` clean (or only
+grandfathered findings), ``1`` new findings, ``2`` usage or baseline
+errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set
 
+from .analyze import analyze_paths
 from .baseline import Baseline, BaselineError
 from .findings import Finding
-from .framework import default_checkers, lint_paths
+from .framework import default_checkers
+from .graph import default_graph_rules
 from .report import render_human, render_json, render_rules
 
 #: Baseline applied automatically when present in the working directory.
@@ -30,15 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "AST-based determinism & invariant linter for the repro "
-            "simulation codebase"
+            "Whole-program determinism & invariant analyzer for the repro "
+            "simulation codebase (per-file checkers + call-graph rules)"
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories to lint (default: src/repro, else .)",
+        help="files or directories to analyze (default: src/repro, else .)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON report on stdout"
@@ -67,6 +72,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--no-graph",
+        action="store_true",
+        help="skip the whole-program phase (per-file checkers only)",
+    )
+    parser.add_argument(
+        "--graph-json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="dump the project call graph as JSON (use - for stdout)",
+    )
+    parser.add_argument(
+        "--api-report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "dump the API-surface / dead-symbol report as JSON "
+            "(use - for stdout)"
+        ),
+    )
     return parser
 
 
@@ -77,12 +104,22 @@ def _default_paths() -> List[Path]:
     return [Path(".")]
 
 
+def _dump_json(target: Path, document: object) -> None:
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if str(target) == "-":
+        print(text)
+    else:
+        target.write_text(text + "\n", encoding="utf-8")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
 
     if options.list_rules:
-        print(render_rules(default_checkers()))
+        suite: List[object] = list(default_checkers())
+        suite.extend(default_graph_rules())
+        print(render_rules(suite))
         return 0
 
     paths = list(options.paths) or _default_paths()
@@ -90,11 +127,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if missing:
         parser.error(f"no such path: {missing[0]}")
 
-    result = lint_paths(
+    wants_graph = (
+        options.graph_json is not None or options.api_report is not None
+    )
+    if options.no_graph and wants_graph:
+        parser.error("--no-graph conflicts with --graph-json/--api-report")
+
+    result = analyze_paths(
         paths,
         select=_parse_rules(options.select),
         ignore=_parse_rules(options.ignore),
+        build_graph=not options.no_graph,
     )
+
+    if result.project is not None:
+        if options.graph_json is not None:
+            _dump_json(options.graph_json, result.project.call_graph_json())
+        if options.api_report is not None:
+            _dump_json(options.api_report, result.project.api_report())
 
     baseline_path = options.baseline
     if baseline_path is None and DEFAULT_BASELINE.is_file():

@@ -37,7 +37,7 @@ _RULE_ID_RE = re.compile(r"[A-Z]+\d+")
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b:?(?P<rest>[^\n]*)")
 
 
-def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+def parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
     """Map 1-based line numbers to suppressed rule ids.
 
     ``None`` means "all rules"; a set means only those ids.  Ids are read
@@ -76,6 +76,16 @@ class ModuleContext:
     lines: List[str] = field(default_factory=list)
     #: Whether the module lives in a test tree (checkers commonly opt out).
     is_tests: bool = False
+    #: Lazily-computed ``# repro: noqa`` map (see :func:`parse_noqa`).
+    _noqa: Optional[Dict[int, Optional[Set[str]]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """The module's inline-suppression map, parsed once per context."""
+        if self._noqa is None:
+            self._noqa = parse_noqa(self.lines)
+        return self._noqa
 
     # ------------------------------------------------------------------
     # Path predicates used by checkers to scope themselves
@@ -170,6 +180,67 @@ def _select(
     return chosen
 
 
+def context_from_source(
+    source: str,
+    module_path: str = "<snippet>",
+    *,
+    is_tests: bool = False,
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
+    """Parse one source string into a context, or a ``PARSE`` finding."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        finding = Finding(
+            rule=PARSE_RULE,
+            severity=Severity.ERROR,
+            path=module_path,
+            line=error.lineno or 0,
+            col=error.offset or 0,
+            message=f"could not parse module: {error.msg}",
+        )
+        return None, finding
+    ctx = ModuleContext(
+        module_path=module_path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        is_tests=is_tests,
+    )
+    return ctx, None
+
+
+def apply_noqa(
+    findings: Sequence[Finding],
+    suppressions: Dict[int, Optional[Set[str]]],
+) -> Tuple[List[Finding], int]:
+    """Filter findings against one module's inline-suppression map."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        rules = suppressions.get(finding.line, _MISSING)
+        if rules is _MISSING:
+            kept.append(finding)
+        elif rules is None or finding.rule in rules:  # type: ignore[operator]
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_context(
+    ctx: ModuleContext, checkers: Optional[Sequence[Checker]] = None
+) -> LintResult:
+    """Run the per-file checker suite over one pre-parsed module."""
+    suite = list(checkers) if checkers is not None else default_checkers()
+    raw: List[Finding] = []
+    for checker in suite:
+        if checker.applies_to(ctx):
+            raw.extend(checker.check(ctx))
+    kept, suppressed = apply_noqa(raw, ctx.suppressions())
+    kept.sort(key=Finding.sort_key)
+    return LintResult(findings=kept, suppressed=suppressed, files_checked=1)
+
+
 def lint_source(
     source: str,
     module_path: str = "<snippet>",
@@ -182,46 +253,13 @@ def lint_source(
     ``module_path`` participates in checker scoping: pass e.g.
     ``"sim/rng.py"`` to exercise a checker's own-module exemption.
     """
-    lines = source.splitlines()
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        finding = Finding(
-            rule=PARSE_RULE,
-            severity=Severity.ERROR,
-            path=module_path,
-            line=error.lineno or 0,
-            col=error.offset or 0,
-            message=f"could not parse module: {error.msg}",
-        )
-        return LintResult(findings=[finding], files_checked=1)
-
-    ctx = ModuleContext(
-        module_path=module_path,
-        source=source,
-        tree=tree,
-        lines=lines,
-        is_tests=is_tests,
+    ctx, parse_finding = context_from_source(
+        source, module_path, is_tests=is_tests
     )
-    suite = list(checkers) if checkers is not None else default_checkers()
-    raw: List[Finding] = []
-    for checker in suite:
-        if checker.applies_to(ctx):
-            raw.extend(checker.check(ctx))
-
-    suppressions = _parse_noqa(lines)
-    kept: List[Finding] = []
-    suppressed = 0
-    for finding in raw:
-        rules = suppressions.get(finding.line, _MISSING)
-        if rules is _MISSING:
-            kept.append(finding)
-        elif rules is None or finding.rule in rules:
-            suppressed += 1
-        else:
-            kept.append(finding)
-    kept.sort(key=Finding.sort_key)
-    return LintResult(findings=kept, suppressed=suppressed, files_checked=1)
+    if ctx is None:
+        assert parse_finding is not None
+        return LintResult(findings=[parse_finding], files_checked=1)
+    return lint_context(ctx, checkers)
 
 
 _MISSING = object()
@@ -231,8 +269,10 @@ def module_path_for(path: Path) -> str:
     """Derive the package-relative path checkers scope on.
 
     The segment after the last ``repro`` directory is used, so absolute
-    paths, ``src/repro/...`` and ``repro/...`` all normalize identically;
-    paths outside any ``repro`` tree keep their name as-is.
+    paths, ``src/repro/...`` and ``repro/...`` all normalize identically.
+    Paths outside any ``repro`` tree (``tests/``, ``benchmarks/``,
+    ``scripts/``) keep their invocation-relative POSIX path, so distinct
+    files never collapse onto the same baseline identity.
     """
     parts = path.parts
     for index in range(len(parts) - 1, -1, -1):
@@ -240,7 +280,12 @@ def module_path_for(path: Path) -> str:
             tail = parts[index + 1:]
             if tail:
                 return "/".join(tail)
-    return path.name
+    if path.is_absolute():
+        try:
+            path = path.relative_to(Path.cwd())
+        except ValueError:
+            return path.name
+    return path.as_posix()
 
 
 def _is_test_path(path: Path) -> bool:
@@ -266,6 +311,44 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def load_context(
+    file_path: Path,
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
+    """Read and parse one file into a context, or a ``PARSE`` finding."""
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        finding = Finding(
+            rule=PARSE_RULE,
+            severity=Severity.ERROR,
+            path=str(file_path),
+            line=0,
+            col=0,
+            message=f"could not read file: {error}",
+        )
+        return None, finding
+    return context_from_source(
+        source,
+        module_path_for(file_path),
+        is_tests=_is_test_path(file_path),
+    )
+
+
+def load_contexts(
+    paths: Sequence[Path],
+) -> Tuple[List[ModuleContext], List[Finding]]:
+    """Parse every Python file under ``paths`` once, collecting errors."""
+    contexts: List[ModuleContext] = []
+    errors: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        ctx, parse_finding = load_context(file_path)
+        if ctx is not None:
+            contexts.append(ctx)
+        if parse_finding is not None:
+            errors.append(parse_finding)
+    return contexts, errors
+
+
 def lint_paths(
     paths: Sequence[Path],
     *,
@@ -276,36 +359,19 @@ def lint_paths(
     """Lint every Python file under ``paths``; findings in path order."""
     suite = list(checkers) if checkers is not None else default_checkers()
     suite = _select(suite, select, ignore)
-    findings: List[Finding] = []
+    contexts, errors = load_contexts(paths)
+    findings: List[Finding] = list(errors)
     suppressed = 0
-    files = 0
-    for file_path in iter_python_files(paths):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as error:
-            findings.append(
-                Finding(
-                    rule=PARSE_RULE,
-                    severity=Severity.ERROR,
-                    path=str(file_path),
-                    line=0,
-                    col=0,
-                    message=f"could not read file: {error}",
-                )
-            )
-            files += 1
-            continue
-        result = lint_source(
-            source,
-            module_path=module_path_for(file_path),
-            checkers=suite,
-            is_tests=_is_test_path(file_path),
-        )
+    for ctx in contexts:
+        result = lint_context(ctx, suite)
         findings.extend(result.findings)
         suppressed += result.suppressed
-        files += 1
     findings.sort(key=Finding.sort_key)
-    return LintResult(findings=findings, suppressed=suppressed, files_checked=files)
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(contexts) + len(errors),
+    )
 
 
 def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:

@@ -1,0 +1,62 @@
+"""Whole-program analysis: symbol table, call graph, interprocedural rules.
+
+Phase two of the determinism linter (``python -m repro.analysis``).  The
+per-file checkers in :mod:`~repro.analysis.lint.checkers` see one module
+at a time; the rules here see the whole program:
+
+* :mod:`~repro.analysis.lint.graph.symbols` — per-module symbol
+  collection: functions, classes and methods, module-level globals,
+  import bindings (including lazy in-function imports) and
+  ``from x import *`` re-exports;
+* :mod:`~repro.analysis.lint.graph.project` — the cross-module layer:
+  name resolution through import chains and star re-exports, class
+  hierarchy, the call graph, reachability, the ``--graph-json`` dump and
+  the API-surface/dead-symbol report;
+* :mod:`~repro.analysis.lint.graph.rules` — the interprocedural rule
+  suite (DET001, RNG002, SHM001, ASY001, CCH001), run by
+  :func:`~repro.analysis.lint.analyze.analyze_paths`.
+
+Everything is standard library only, like the rest of the linter.
+"""
+
+from .project import CallSite, FunctionNode, Project
+from .rules import (
+    GRAPH_RULE_CLASSES,
+    BlockingCallInAsync,
+    CacheKeyInstability,
+    GraphRule,
+    RngAcrossProcessBoundary,
+    SharedMutableModuleState,
+    TaintedEntryPoint,
+    default_graph_rules,
+)
+from .symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    GlobalBinding,
+    ImportBinding,
+    ModuleSymbols,
+    collect_module,
+    dotted_module_name,
+)
+
+__all__ = [
+    "GRAPH_RULE_CLASSES",
+    "BlockingCallInAsync",
+    "CacheKeyInstability",
+    "CallSite",
+    "ClassSymbol",
+    "FunctionNode",
+    "FunctionSymbol",
+    "GlobalBinding",
+    "GraphRule",
+    "ImportBinding",
+    "ModuleSymbols",
+    "Project",
+    "RngAcrossProcessBoundary",
+    "SharedMutableModuleState",
+    "TaintedEntryPoint",
+    "collect_module",
+    "default_graph_rules",
+    "dotted_module_name",
+]

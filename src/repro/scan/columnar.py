@@ -58,7 +58,9 @@ def numpy_or_none():
     without reimports.  NumPy is a pure accelerator: every columnar code
     path has an :mod:`array`-module fallback with identical results.
     """
-    if os.environ.get("REPRO_NO_NUMPY"):
+    # The one sanctioned environment read on a hot path: it only picks
+    # the accelerator, and the fallback is equivalence-tested bit-identical.
+    if os.environ.get("REPRO_NO_NUMPY"):  # repro: noqa DET001 - accelerator toggle
         return None
     try:
         import numpy

@@ -1,0 +1,247 @@
+"""Symbol collection: module names, imports, globals, star exports."""
+
+import textwrap
+
+from repro.analysis.lint import ModuleContext
+from repro.analysis.lint.framework import context_from_source
+from repro.analysis.lint.graph import collect_module, dotted_module_name
+
+
+def collect(source, module_path="core/example.py"):
+    ctx, parse_finding = context_from_source(
+        textwrap.dedent(source), module_path
+    )
+    assert parse_finding is None
+    assert isinstance(ctx, ModuleContext)
+    return collect_module(ctx)
+
+
+class TestDottedModuleName:
+    def test_package_module(self):
+        assert dotted_module_name("core/adoption.py") == "repro.core.adoption"
+
+    def test_init_maps_to_package(self):
+        assert dotted_module_name("scan/__init__.py") == "repro.scan"
+
+    def test_root_init(self):
+        assert dotted_module_name("__init__.py") == "repro"
+
+    def test_out_of_package_trees_have_no_dotted_name(self):
+        assert dotted_module_name("tests/analysis/test_x.py") is None
+        assert dotted_module_name("scripts/tool.py") is None
+        assert dotted_module_name("benchmarks/test_perf.py") is None
+
+    def test_snippet_pseudo_path(self):
+        assert dotted_module_name("<snippet>") is None
+
+
+class TestFunctionsAndClasses:
+    def test_functions_classes_methods_collected(self):
+        ms = collect(
+            """\
+            def helper():
+                pass
+
+            async def pump():
+                pass
+
+            class Store:
+                def get(self):
+                    pass
+
+                def _internal(self):
+                    pass
+            """
+        )
+        assert set(ms.functions) == {"helper", "pump"}
+        assert ms.functions["pump"].is_async
+        assert not ms.functions["helper"].is_async
+        store = ms.classes["Store"]
+        assert set(store.methods) == {"get", "_internal"}
+        assert store.methods["get"].qualname == "Store.get"
+        assert store.methods["get"].class_name == "Store"
+
+    def test_base_chains_recorded_as_written(self):
+        ms = collect(
+            """\
+            import abc
+            from repro.greylist.backends import TripletBackend
+
+            class MemoryBackend(TripletBackend):
+                pass
+
+            class Fancy(abc.ABC):
+                pass
+            """
+        )
+        assert list(ms.classes["MemoryBackend"].base_chains) == [("TripletBackend",)]
+        assert list(ms.classes["Fancy"].base_chains) == [("abc", "ABC")]
+
+
+class TestImports:
+    def test_plain_import_binds_head(self):
+        ms = collect("import os.path\n")
+        assert ms.imports["os"].module == "os"
+        assert ms.imports["os"].name is None
+
+    def test_import_asname_binds_full_module(self):
+        ms = collect("import random as rnd\n")
+        binding = ms.imports["rnd"]
+        assert binding.module == "random"
+        assert binding.name is None
+
+    def test_from_import(self):
+        ms = collect("from repro.sim.rng import RandomStream\n")
+        binding = ms.imports["RandomStream"]
+        assert binding.module == "repro.sim.rng"
+        assert binding.name == "RandomStream"
+
+    def test_relative_import_resolved_against_module(self):
+        ms = collect(
+            "from .profiles import PROFILE_CODE\n",
+            module_path="scan/columnar.py",
+        )
+        assert ms.imports["PROFILE_CODE"].module == "repro.scan.profiles"
+
+    def test_double_dot_relative_import(self):
+        ms = collect(
+            "from ..sim.rng import RandomStream\n",
+            module_path="scan/columnar.py",
+        )
+        assert ms.imports["RandomStream"].module == "repro.sim.rng"
+
+    def test_relative_import_from_init_stays_in_package(self):
+        ms = collect(
+            "from .batch import batched_adoption_shard\n",
+            module_path="scan/__init__.py",
+        )
+        binding = ms.imports["batched_adoption_shard"]
+        assert binding.module == "repro.scan.batch"
+
+    def test_lazy_in_function_import_collected(self):
+        # The repo breaks the core <-> runner cycle with imports inside
+        # functions; resolution must still see them.
+        ms = collect(
+            """\
+            def run():
+                from repro.runner.pool import run_tasks
+                return run_tasks
+            """
+        )
+        assert ms.imports["run_tasks"].module == "repro.runner.pool"
+
+    def test_star_import_recorded(self):
+        ms = collect("from repro.scan.batch import *\n")
+        assert [module for module, _ in ms.star_imports] == ["repro.scan.batch"]
+
+
+class TestGlobalsAndMutation:
+    def test_container_globals_flagged_as_containers(self):
+        ms = collect(
+            """\
+            CACHE = {}
+            NAMES = ["a"]
+            LIMIT = 10
+            tags = set()
+            """
+        )
+        assert ms.globals["CACHE"].is_container
+        assert ms.globals["NAMES"].is_container
+        assert not ms.globals["LIMIT"].is_container
+        assert ms.globals["tags"].is_container
+
+    def test_constant_naming_and_final(self):
+        ms = collect(
+            """\
+            from typing import Final
+
+            UPPER = {}
+            lower = {}
+            pinned: Final = {}
+            """
+        )
+        assert ms.globals["UPPER"].constant_named
+        assert not ms.globals["lower"].constant_named
+        assert ms.globals["pinned"].is_final
+
+    def test_mutating_method_marks_global(self):
+        ms = collect(
+            """\
+            CACHE = {}
+
+            def remember(key, value):
+                CACHE[key] = value
+            """
+        )
+        assert ms.globals["CACHE"].mutated
+
+    def test_append_marks_global(self):
+        ms = collect(
+            """\
+            EVENTS = []
+
+            def record(event):
+                EVENTS.append(event)
+            """
+        )
+        assert ms.globals["EVENTS"].mutated
+
+    def test_global_statement_rebind_marks_global(self):
+        # The ``global`` declaration may appear after other statements in
+        # walk order; collection must still connect it to the rebind.
+        ms = collect(
+            """\
+            STATE = {}
+
+            def reset():
+                value = {}
+                global STATE
+                STATE = value
+            """
+        )
+        assert ms.globals["STATE"].mutated
+
+    def test_read_only_global_not_marked(self):
+        ms = collect(
+            """\
+            TABLE = {"a": 1}
+
+            def look(key):
+                return TABLE.get(key)
+            """
+        )
+        assert not ms.globals["TABLE"].mutated
+
+
+class TestExports:
+    def test_explicit_all_wins(self):
+        ms = collect(
+            """\
+            __all__ = ["visible"]
+
+            def visible():
+                pass
+
+            def also_public():
+                pass
+            """
+        )
+        assert list(ms.exported_names()) == ["visible"]
+
+    def test_public_names_without_all(self):
+        ms = collect(
+            """\
+            def visible():
+                pass
+
+            def _hidden():
+                pass
+
+            class Thing:
+                pass
+            """
+        )
+        exported = ms.exported_names()
+        assert "visible" in exported
+        assert "Thing" in exported
+        assert "_hidden" not in exported

@@ -164,8 +164,10 @@ class TestModulePaths:
     def test_installed_layout_normalized(self):
         assert module_path_for(Path("repro/net/host.py")) == "net/host.py"
 
-    def test_outside_tree_keeps_name(self):
-        assert module_path_for(Path("scripts/tool.py")) == "tool.py"
+    def test_outside_tree_keeps_relative_path(self):
+        # Distinct scripts/ files must not collapse onto one baseline
+        # identity, so the invocation-relative path is preserved.
+        assert module_path_for(Path("scripts/tool.py")) == "scripts/tool.py"
 
 
 class TestLintPaths:

@@ -1,19 +1,36 @@
-"""The shipped tree must satisfy its own determinism linter.
+"""The shipped tree must satisfy its own whole-program analyzer.
 
 This is the executable form of the determinism contract in
 ``docs/ARCHITECTURE.md``: if a change reintroduces ambient randomness,
-wall-clock reads, or hash-order dependence anywhere under ``src/repro``,
-this test fails with the exact rule and location.
+wall-clock reads, hash-order dependence, or — via the call-graph phase —
+a nondeterministic sink reachable from an engine entry point, this test
+fails with the exact rule and location.
 """
 
+import time
 from pathlib import Path
 
 import repro
-from repro.analysis.lint import lint_paths, render_human
+from repro.analysis.lint import analyze_paths, lint_paths, render_human
+
+#: Whole-program analysis over the full tree must stay comfortably
+#: inside CI's interactive budget.
+TIME_BUDGET_SECONDS = 30.0
 
 
 def _package_root() -> Path:
     return Path(repro.__file__).resolve().parent
+
+
+def _repo_trees() -> list:
+    """``src/repro`` plus the tests/benchmarks/scripts trees when present."""
+    paths = [_package_root()]
+    repo_root = _package_root().parent.parent
+    for name in ("tests", "benchmarks", "scripts"):
+        candidate = repo_root / name
+        if candidate.is_dir():
+            paths.append(candidate)
+    return paths
 
 
 def test_src_repro_is_lint_clean():
@@ -23,9 +40,54 @@ def test_src_repro_is_lint_clean():
     )
 
 
-def test_linter_actually_ran_over_the_tree():
-    result = lint_paths([_package_root()])
+def test_whole_program_analysis_is_clean():
+    # Both phases, zero un-baselined findings — the acceptance bar.  No
+    # baseline is passed: the tree must be *actually* clean, and the
+    # committed .repro-lint-baseline.json empty.
+    started = time.perf_counter()
+    result = analyze_paths(_repo_trees())
+    elapsed = time.perf_counter() - started
+    assert result.findings == [], "\n" + render_human(
+        result.findings, files_checked=result.files_checked
+    )
+    assert elapsed < TIME_BUDGET_SECONDS, (
+        f"whole-program analysis took {elapsed:.1f}s, "
+        f"budget is {TIME_BUDGET_SECONDS:.0f}s"
+    )
+
+
+def test_analyzer_actually_ran_both_phases():
+    result = analyze_paths(_repo_trees())
     # Guard against a silent no-op (e.g. a broken file iterator): the
     # package has dozens of modules and at least one inline suppression.
     assert result.files_checked > 50
     assert result.suppressed >= 1
+    # The graph phase really built a project over the tree.
+    project = result.project
+    assert project is not None
+    assert len(project.modules) == result.files_checked
+    assert len(project.functions) > 500
+    assert sum(len(node.calls) for node in project.nodes.values()) > 1000
+
+
+def test_entry_points_resolved_on_real_tree():
+    from repro.analysis.lint.graph.rules import iter_entry_points
+
+    result = analyze_paths([_package_root()])
+    assert result.project is not None
+    entries = {fn.qualname for fn in iter_entry_points(result.project)}
+    # The engine entry points the taint rule starts from must keep
+    # resolving as the tree grows; a rename here silently disables DET001.
+    assert "run_adoption_experiment" in entries
+    assert "columnar_adoption_shard" in entries
+    assert "batched_adoption_shard" in entries
+    # Every TripletBackend implementation's methods are entries too.
+    assert any(name.startswith("SQLiteBackend.") for name in entries)
+    assert any(name.startswith("JournalBackend.") for name in entries)
+
+
+def test_dead_symbol_report_is_empty_on_real_tree():
+    result = analyze_paths(_repo_trees())
+    assert result.project is not None
+    report = result.project.api_report()
+    assert report["dead_symbols"] == []
