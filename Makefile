@@ -46,7 +46,7 @@ bench:
 # gated against BENCH_0.json by scripts/check_bench_regression.py.
 SMOKE_BENCHES := benchmarks/test_perf_substrates.py benchmarks/test_perf_runner.py \
 	benchmarks/test_perf_batch.py benchmarks/test_perf_columnar.py \
-	benchmarks/test_perf_store.py
+	benchmarks/test_perf_store.py benchmarks/test_perf_serve.py
 bench-smoke:
 	$(PYTHON) -m pytest $(SMOKE_BENCHES) --benchmark-only --benchmark-disable-gc \
 		--benchmark-json=bench-smoke.json

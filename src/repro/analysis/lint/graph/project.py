@@ -104,6 +104,7 @@ class Project:
                     self.functions[method.key] = method
         self._subclasses: Dict[Key, List[ClassSymbol]] = {}
         self._link_hierarchy()
+        self._attr_types: Dict[Key, Dict[str, ClassSymbol]] = {}
         self.nodes: Dict[Key, FunctionNode] = {}
         for ms in self.modules.values():
             for fn in ms.functions.values():
@@ -291,31 +292,156 @@ class Project:
     # ------------------------------------------------------------------
     # Call-graph construction
     # ------------------------------------------------------------------
+    def _annotation_class(
+        self, module: ModuleSymbols, annotation: Optional[ast.expr]
+    ) -> Optional[ClassSymbol]:
+        """Resolve a type annotation to a project class, if it names one.
+
+        Unwraps ``Optional[T]`` / ``Union[T, None]`` and string
+        annotations; container annotations (``List[T]`` etc.) do not
+        resolve — the binding's *elements* are typed, not the binding.
+        """
+        if annotation is None:
+            return None
+        node: ast.expr = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            head = dotted_name(node.value)
+            if head is None or head[-1] not in ("Optional", "Union"):
+                return None
+            inner = node.slice
+            elements = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            for element in elements:
+                resolved = self._annotation_class(module, element)
+                if resolved is not None:
+                    return resolved
+            return None
+        chain = dotted_name(node)
+        if chain is None:
+            return None
+        resolved: Resolved
+        if len(chain) == 1:
+            resolved = self.resolve_name(module, chain[0])
+        else:
+            resolved, _ = self.resolve_chain(module, chain)
+        return resolved if isinstance(resolved, ClassSymbol) else None
+
+    def _resolve_constructor(
+        self, module: ModuleSymbols, value: ast.expr
+    ) -> Optional[ClassSymbol]:
+        """``ClassName(...)`` on the right-hand side of an assignment."""
+        if not isinstance(value, ast.Call):
+            return None
+        chain = dotted_name(value.func)
+        if chain is None:
+            return None
+        resolved: Resolved
+        if len(chain) == 1:
+            resolved = self.resolve_name(module, chain[0])
+        else:
+            resolved, _ = self.resolve_chain(module, chain)
+        return resolved if isinstance(resolved, ClassSymbol) else None
+
     def _instance_types(
         self, module: ModuleSymbols, fn: FunctionSymbol
-    ) -> Dict[str, ClassSymbol]:
-        """``x = ClassName(...)`` bindings local to one function."""
-        instances: Dict[str, ClassSymbol] = {}
+    ) -> Dict[str, Tuple[ClassSymbol, bool]]:
+        """Local name -> (class, dispatch-to-subclasses) bindings.
+
+        Two sources: ``x = ClassName(...)`` pins the concrete class, and
+        a local annotation (``x: Base`` — the pre-annotated loop
+        variable idiom — or an annotated parameter) declares an
+        *interface*, so calls through it may dispatch to any subclass.
+        """
+        instances: Dict[str, Tuple[ClassSymbol, bool]] = {}
+        args = fn.node.args  # type: ignore[attr-defined]
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            annotated = self._annotation_class(module, arg.annotation)
+            if annotated is not None:
+                instances[arg.arg] = (annotated, True)
         for node in ast.walk(fn.node):
+            if isinstance(node, ast.AnnAssign):
+                if not isinstance(node.target, ast.Name):
+                    continue
+                annotated = self._annotation_class(module, node.annotation)
+                if annotated is not None:
+                    instances[node.target.id] = (annotated, True)
+                continue
             if not isinstance(node, ast.Assign) or len(node.targets) != 1:
                 continue
             target = node.targets[0]
             if not isinstance(target, ast.Name):
                 continue
-            value = node.value
-            if not isinstance(value, ast.Call):
-                continue
-            chain = dotted_name(value.func)
-            if chain is None:
-                continue
-            resolved: Resolved
-            if len(chain) == 1:
-                resolved = self.resolve_name(module, chain[0])
-            else:
-                resolved, _ = self.resolve_chain(module, chain)
-            if isinstance(resolved, ClassSymbol):
-                instances[target.id] = resolved
+            constructed = self._resolve_constructor(module, node.value)
+            if constructed is not None:
+                instances[target.id] = (constructed, False)
         return instances
+
+    def attribute_types(self, cls: ClassSymbol) -> Dict[str, ClassSymbol]:
+        """Instance-attribute name -> class, gathered from the methods.
+
+        Sources, in priority order (first resolution of a name wins,
+        ``__init__`` scanned first): ``self.x: T`` annotated
+        assignments, ``self.x = ClassName(...)`` constructor calls, and
+        ``self.x = param`` where the parameter is annotated with a
+        project class.  This is what lets the call graph resolve
+        ``self.attr.method()`` — the serving daemon's whole decision
+        path hangs off such calls.
+        """
+        cached = self._attr_types.get(cls.key)
+        if cached is not None:
+            return cached
+        module = self.modules[cls.module_path]
+        types: Dict[str, ClassSymbol] = {}
+        ordered = sorted(
+            cls.methods.values(), key=lambda m: m.name != "__init__"
+        )
+        for method in ordered:
+            args = method.node.args  # type: ignore[attr-defined]
+            params: Dict[str, Optional[ClassSymbol]] = {
+                arg.arg: self._annotation_class(module, arg.annotation)
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            }
+            for node in ast.walk(method.node):
+                target: Optional[ast.expr]
+                value: Optional[ast.expr]
+                if isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                else:
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                name = target.attr
+                if name in types:
+                    continue
+                if isinstance(node, ast.AnnAssign):
+                    annotated = self._annotation_class(module, node.annotation)
+                    if annotated is not None:
+                        types[name] = annotated
+                        continue
+                if value is None:
+                    continue
+                constructed = self._resolve_constructor(module, value)
+                if constructed is not None:
+                    types[name] = constructed
+                    continue
+                if isinstance(value, ast.Name):
+                    annotated = params.get(value.id)
+                    if annotated is not None:
+                        types[name] = annotated
+        self._attr_types[cls.key] = types
+        return types
 
     def _build_node(
         self, module: ModuleSymbols, fn: FunctionSymbol
@@ -344,8 +470,25 @@ class Project:
                         targets = self.method_candidates(
                             cls, chain[1], include_subclasses=True
                         )
+                    elif cls is not None and len(chain) >= 3:
+                        # self.attr[.attr...].method(): walk each hop
+                        # through the attribute's declared/constructed
+                        # type, then dispatch on the final receiver (and
+                        # its subclasses — it may hold any of them).
+                        attr_cls: Optional[ClassSymbol] = cls
+                        for attr in chain[1:-1]:
+                            if attr_cls is None:
+                                break
+                            attr_cls = self.attribute_types(attr_cls).get(attr)
+                        if attr_cls is not None:
+                            targets = self.method_candidates(
+                                attr_cls, chain[-1], include_subclasses=True
+                            )
                 elif head in instances and len(chain) == 2:
-                    targets = self.method_candidates(instances[head], chain[1])
+                    bound, is_interface = instances[head]
+                    targets = self.method_candidates(
+                        bound, chain[1], include_subclasses=is_interface
+                    )
                 else:
                     resolved, external = self.resolve_chain(module, chain)
                     if isinstance(resolved, FunctionSymbol):

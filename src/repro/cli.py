@@ -304,6 +304,117 @@ def _cmd_filter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _raise_fd_limit() -> None:
+    """Raise the soft fd limit to the hard one (10k+ connections need it).
+
+    Best-effort: serving at default limits still works, just at fewer
+    concurrent connections.
+    """
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < hard:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .greylist.backends import SERVING_COMMIT_EVERY, create_backend
+    from .greylist.policy import GreylistPolicy
+    from .greylist.store import TripletStore
+    from .serve.plugins import (
+        DecisionCache,
+        GreylistingPlugin,
+        PluginChain,
+        PolicyPlugin,
+        ThrottlePlugin,
+    )
+    from .serve.server import PolicyServer, ReplayClock, WallClock
+
+    _raise_fd_limit()
+    clock = ReplayClock() if args.clock == "replay" else WallClock()
+    store = TripletStore(
+        clock,
+        backend=create_backend(
+            args.store_backend,
+            args.store_path,
+            commit_every=SERVING_COMMIT_EVERY,
+        ),
+    )
+    policy = GreylistPolicy(clock=clock, delay=args.delay, store=store)
+    cache = DecisionCache()
+    plugins: List[PolicyPlugin] = []
+    if args.throttle_max > 0:
+        plugins.append(
+            ThrottlePlugin(
+                clock,
+                max_messages=args.throttle_max,
+                period=args.throttle_period,
+            )
+        )
+    plugins.append(GreylistingPlugin(policy, cache=cache))
+    server = PolicyServer(
+        PluginChain(plugins), clock, host=args.host, port=args.port
+    )
+
+    async def _serve() -> int:
+        host, port = await server.start()
+        # The smoke job and the benchmark parse this line to find an
+        # ephemeral port; keep the format stable.
+        print(f"listening on {host}:{port}", flush=True)
+        status = await server.run_until_signalled()
+        stats = server.stats
+        print(
+            f"served {stats.decisions} decisions over "
+            f"{stats.connections} connections "
+            f"({stats.protocol_errors} protocol errors, "
+            f"{stats.truncated} truncated)",
+            flush=True,
+        )
+        return status
+
+    return asyncio.run(_serve())
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import math
+
+    from .serve.loadgen import capture_bot_trace, replay_trace, run_load, tile_requests
+
+    _raise_fd_limit()
+    trace = capture_bot_trace(
+        threshold=args.delay, num_messages=args.messages, seed=args.seed
+    )
+    if args.check:
+        report = asyncio.run(
+            replay_trace(args.host, args.port, trace.requests)
+        )
+        print(
+            f"replayed {report.total} simulated decisions: "
+            f"{len(report.mismatches)} mismatches"
+        )
+        for index, expected, got in report.mismatches[:10]:
+            print(f"  request {index}: expected {expected}, got {got}")
+        return 0 if report.ok else 1
+    per_connection = max(1, math.ceil(args.requests / args.connections))
+    slices = tile_requests(trace.requests, args.connections, per_connection)
+    stats = asyncio.run(run_load(args.host, args.port, slices))
+    print(
+        f"{stats.decisions} decisions over {stats.connections} connections "
+        f"in {stats.elapsed:.2f}s: {stats.decisions_per_sec:,.0f}/sec "
+        f"(p50 {stats.percentile_ms(0.50):.2f} ms, "
+        f"p99 {stats.percentile_ms(0.99):.2f} ms)"
+    )
+    for verb in sorted(stats.verbs):
+        print(f"  {verb}: {stats.verbs[verb]}")
+    return 0
+
+
 def _cmd_scorecard(args: argparse.Namespace) -> int:
     from .core.scorecard import build_scorecard, scorecard_text
 
@@ -475,6 +586,97 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("filter", help="pre- vs post-acceptance comparison")
     p.set_defaults(func=_cmd_filter)
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "run the live Postfix policy daemon (greylisting engine "
+            "behind check_policy_service)"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 binds an ephemeral port, announced on stdout)",
+    )
+    p.add_argument(
+        "--clock",
+        choices=("wall", "replay"),
+        default="wall",
+        help=(
+            "wall: live serving on host time; replay: virtual clock "
+            "driven by the load generator's stamp attributes (for "
+            "equivalence checks against the simulator)"
+        ),
+    )
+    p.add_argument(
+        "--delay",
+        type=float,
+        default=300.0,
+        help="greylisting threshold in seconds",
+    )
+    p.add_argument(
+        "--throttle-max",
+        type=int,
+        default=0,
+        help=(
+            "enable the throttle plugin: defer a client exceeding this "
+            "many messages per period (0 disables)"
+        ),
+    )
+    p.add_argument(
+        "--throttle-period",
+        type=float,
+        default=60.0,
+        help="throttle sliding-window length in seconds",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-load",
+        help=(
+            "drive a running policy daemon with the synthetic internet's "
+            "bot traffic (throughput, or --check for decision correctness)"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "sequential correctness replay: every served action must "
+            "match the simulated ground truth (daemon must run --clock "
+            "replay with matching --delay and a fresh store)"
+        ),
+    )
+    p.add_argument(
+        "--connections",
+        type=int,
+        default=100,
+        help="concurrent connections for the load phase",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=10000,
+        help="total decisions to request across all connections",
+    )
+    p.add_argument(
+        "--messages",
+        type=int,
+        default=200,
+        help="campaign size of the captured bot-traffic trace",
+    )
+    p.add_argument(
+        "--delay",
+        type=float,
+        default=300.0,
+        help="greylisting threshold the trace is captured against",
+    )
+    p.set_defaults(func=_cmd_serve_load)
 
     p = sub.add_parser(
         "scorecard",

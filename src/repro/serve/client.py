@@ -1,0 +1,129 @@
+"""Asyncio client for the policy-delegation protocol.
+
+What a Postfix ``check_policy_service`` endpoint looks like from the
+MTA's side: write a stanza, read an ``action``.  The client exists for
+the load generator, the CI smoke check and the test suite; it keeps the
+connection open and supports pipelining (write many stanzas, then
+collect the responses in order), mirroring how Postfix reuses policy
+connections across SMTP sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Sequence
+
+from .protocol import (
+    SMTPD_ACCESS_POLICY,
+    format_request,
+    iter_response_actions,
+)
+
+
+def make_request_attrs(
+    client_address: str,
+    sender: str,
+    recipient: str,
+    stamp: float | None = None,
+    **extra: str,
+) -> Dict[str, str]:
+    """Build the attribute map of one RCPT-time policy request."""
+    attrs: Dict[str, str] = {
+        "request": SMTPD_ACCESS_POLICY,
+        "protocol_state": "RCPT",
+        "protocol_name": "SMTP",
+        "client_address": client_address,
+        "sender": sender,
+        "recipient": recipient,
+    }
+    if stamp is not None:
+        attrs["stamp"] = repr(stamp)
+    attrs.update(extra)
+    return attrs
+
+
+class PolicyClient:
+    """One policy connection (request/response or pipelined)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._residue = bytearray()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "PolicyClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, attrs: Dict[str, str]) -> str:
+        """One round trip: send a stanza, await its action."""
+        actions = await self.pipeline([attrs])
+        return actions[0]
+
+    async def pipeline(
+        self, requests: Sequence[Dict[str, str]]
+    ) -> List[str]:
+        """Send every stanza, then read the responses in order."""
+        payload = b"".join(format_request(attrs) for attrs in requests)
+        return await self.send_raw(payload, len(requests))
+
+    async def send_raw(self, payload: bytes, expected: int) -> List[str]:
+        """Write pre-rendered wire bytes; await ``expected`` actions.
+
+        The load generator pre-renders each connection's burst once so
+        the timed section measures the server, not client formatting.
+        """
+        self._writer.write(payload)
+        await self._writer.drain()
+        actions: List[str] = []
+        residue = self._residue
+        while len(actions) < expected:
+            data = await self._reader.read(65536)
+            if not data:
+                raise ConnectionError(
+                    f"server closed with {expected - len(actions)} "
+                    "response(s) outstanding"
+                )
+            residue += data
+            actions.extend(iter_response_actions(residue))
+        return actions
+
+    async def send_counted(self, payload: bytes, expected: int) -> int:
+        """Write pre-rendered bytes; count responses without parsing them.
+
+        The open-loop load path: one C-level ``count(b"\\n\\n")`` per read
+        replaces per-stanza parsing, so client-side response handling
+        costs almost nothing and the measured number is the server's.
+        Responses are single ``action=`` lines, so terminators never
+        overlap; one byte of carry handles a terminator split across
+        reads.
+        """
+        self._writer.write(payload)
+        await self._writer.drain()
+        seen = 0
+        carry = b""
+        while seen < expected:
+            data = await self._reader.read(65536)
+            if not data:
+                raise ConnectionError(
+                    f"server closed with {expected - seen} response(s) "
+                    "outstanding"
+                )
+            if carry and data[0] == 0x0A:
+                seen += 1
+                data = data[1:]
+                if not data:
+                    carry = b""
+                    continue
+            seen += data.count(b"\n\n")
+            carry = b"\n" if data[-1] == 0x0A and not data.endswith(b"\n\n") else b""
+        return seen
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

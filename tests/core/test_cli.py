@@ -24,6 +24,8 @@ class TestParser:
             "dialects",
             "variants",
             "filter",
+            "serve",
+            "serve-load",
             "scorecard",
         }
 
