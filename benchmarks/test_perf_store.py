@@ -18,12 +18,18 @@ file-backed ones — covered for durability by the unit and equivalence
 suites — and keeping the bench off the filesystem keeps the 1M-row
 setup smoke-viable and the numbers free of container I/O noise.
 
+The shared-memory table is fixed-capacity by design (it spills rather
+than grows), so this bench sizes it explicitly for the 1M load at a
+~25% load factor — the same ``--shm-capacity`` decision a deployment
+makes — keeping bounded probing spill-free at this scale.
+
 Both join the smoke-bench regression gate once baselined in BENCH_0.json.
 """
 
 import pytest
 
 from repro.greylist.backends import BACKEND_NAMES, create_backend
+from repro.greylist.shm import SharedMemoryBackend
 from repro.greylist.store import DAY, TripletEntry
 from repro.greylist.triplet import Triplet
 from repro.net.address import IPv4Address
@@ -70,8 +76,16 @@ def entries_1m():
     return entries
 
 
+#: Slots in the shared-memory table for the 1M load (~25% load factor:
+#: bounded 64-slot probing stays spill-free with this much headroom).
+SHM_BENCH_CAPACITY = 4 * 1024 * 1024
+
+
 def _loaded_backend(name, entries):
-    backend = create_backend(name, path=None)  # volatile: see module doc
+    if name == "shm":
+        backend = SharedMemoryBackend(capacity=SHM_BENCH_CAPACITY)
+    else:
+        backend = create_backend(name, path=None)  # volatile: see module doc
     backend.bulk_load(entries)
     backend.flush()
     return backend

@@ -12,6 +12,16 @@ the median ratio — a uniformly slower CI runner shifts all ratios
 equally and cancels out, while a genuine regression in one benchmark
 stands out against the rest.
 
+Throughput floors are enforced too: benchmarks report their headline
+rates (``decisions_per_sec``, ``domains_per_sec``, ``lookups_per_sec``)
+in ``extra_info``, and a rate can erode while the timed statistic holds
+— e.g. a serve benchmark whose timed section is fixed-duration keeps
+its median forever while its decisions/sec collapses.  Each shared rate
+is compared as ``baseline / current`` (higher is better, so the ratio
+inverts), normalized by the same machine-speed scale, and gated by the
+same threshold.  A rate that *disappears* from a shared benchmark is a
+failure: deleting the floor is how it would silently erode.
+
 The gate fails (exit 1) when any normalized ratio exceeds 1.25, i.e. a
 benchmark got more than 25% slower *relative to the suite*.  To land an
 intentional slowdown (e.g. trading speed for correctness), set
@@ -32,6 +42,9 @@ from typing import Dict, List, Sequence
 
 THRESHOLD = 1.25
 
+#: ``extra_info`` keys treated as throughput floors (higher is better).
+THROUGHPUT_KEYS = ("decisions_per_sec", "domains_per_sec", "lookups_per_sec")
+
 
 def load_minimums(path: str) -> Dict[str, float]:
     """Map benchmark fullname -> fastest observed time, from one snapshot."""
@@ -41,6 +54,23 @@ def load_minimums(path: str) -> Dict[str, float]:
         bench["fullname"]: float(bench["stats"]["min"])
         for bench in data.get("benchmarks", [])
     }
+
+
+def load_throughputs(path: str) -> Dict[str, Dict[str, float]]:
+    """Map fullname -> {rate key: value} for the floors a snapshot reports."""
+    with open(path) as handle:
+        data = json.load(handle)
+    rates: Dict[str, Dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        extra = bench.get("extra_info") or {}
+        found = {
+            key: float(extra[key])
+            for key in THROUGHPUT_KEYS
+            if key in extra and float(extra[key]) > 0
+        }
+        if found:
+            rates[bench["fullname"]] = found
+    return rates
 
 
 def main(argv: Sequence[str]) -> int:
@@ -87,6 +117,30 @@ def main(argv: Sequence[str]) -> int:
         )
         if normalized > THRESHOLD:
             regressions.append(name)
+
+    # Throughput floors: higher is better, so the regression ratio
+    # inverts (baseline/current); the machine-speed scale still applies
+    # — a uniformly slower runner produces uniformly lower rates.
+    baseline_rates = load_throughputs(baseline_path)
+    current_rates = load_throughputs(current_path)
+    for name in sorted(set(baseline_rates) & set(current)):
+        for key, floor in sorted(baseline_rates[name].items()):
+            rate = current_rates.get(name, {}).get(key)
+            if rate is None:
+                print(
+                    f"  {name}[{key}]: floor {floor:,.0f}/s dropped from "
+                    f"the current snapshot <-- REGRESSION"
+                )
+                regressions.append(f"{name}[{key}]")
+                continue
+            normalized = (floor / rate) / scale
+            marker = " <-- REGRESSION" if normalized > THRESHOLD else ""
+            print(
+                f"  {name}[{key}]: {floor:,.0f}/s -> {rate:,.0f}/s "
+                f"(normalized x{normalized:.2f}){marker}"
+            )
+            if normalized > THRESHOLD:
+                regressions.append(f"{name}[{key}]")
 
     if not regressions:
         print(

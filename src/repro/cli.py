@@ -320,10 +320,13 @@ def _raise_fd_limit() -> None:
         pass
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
+def _build_serve_chain(args: argparse.Namespace, clock, backend):
+    """Assemble the serving plugin chain over an existing backend.
 
-    from .greylist.backends import SERVING_COMMIT_EVERY, create_backend
+    Shared by the single-process daemon and every prefork worker: each
+    worker builds its *own* chain (plugins hold per-process caches) but
+    all chains read and write the same backend state.
+    """
     from .greylist.policy import GreylistPolicy
     from .greylist.store import TripletStore
     from .serve.plugins import (
@@ -333,20 +336,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         PolicyPlugin,
         ThrottlePlugin,
     )
-    from .serve.server import PolicyServer, ReplayClock, WallClock
 
-    _raise_fd_limit()
-    clock = ReplayClock() if args.clock == "replay" else WallClock()
-    store = TripletStore(
-        clock,
-        backend=create_backend(
-            args.store_backend,
-            args.store_path,
-            commit_every=SERVING_COMMIT_EVERY,
-        ),
-    )
+    store = TripletStore(clock, backend=backend)
     policy = GreylistPolicy(clock=clock, delay=args.delay, store=store)
-    cache = DecisionCache()
     plugins: List[PolicyPlugin] = []
     if args.throttle_max > 0:
         plugins.append(
@@ -356,10 +348,130 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 period=args.throttle_period,
             )
         )
-    plugins.append(GreylistingPlugin(policy, cache=cache))
-    server = PolicyServer(
-        PluginChain(plugins), clock, host=args.host, port=args.port
+    plugins.append(GreylistingPlugin(policy, cache=DecisionCache()))
+    return PluginChain(plugins)
+
+
+def _serve_backend(args: argparse.Namespace):
+    """Create the triplet backend the serve command was asked for."""
+    from .greylist.backends import SERVING_COMMIT_EVERY, create_backend
+
+    if args.store_backend == "shm":
+        from .greylist.shm import SharedMemoryBackend
+
+        # An operator-named --store-path is the durable contract: the
+        # segment must survive the daemon for the next one to reattach,
+        # so the exit reaper is disabled.  Anonymous segments die with
+        # the master.
+        return SharedMemoryBackend(
+            args.store_path,
+            capacity=args.shm_capacity,
+            persist=args.store_path is not None,
+        )
+    return create_backend(
+        args.store_backend, args.store_path, commit_every=SERVING_COMMIT_EVERY
     )
+
+
+def _serve_worker(
+    index: int, sock, args: argparse.Namespace, segment: str
+) -> int:
+    """Body of one prefork worker (runs inside the forked child)."""
+    import asyncio
+
+    from .greylist.shm import SharedMemoryBackend
+    from .serve.server import PolicyServer, ReplayClock, WallClock
+
+    clock = ReplayClock() if args.clock == "replay" else WallClock()
+    backend = SharedMemoryBackend(segment=segment)
+    chain = _build_serve_chain(args, clock, backend)
+    server = PolicyServer(
+        chain, clock, host=args.host, port=args.port, sock=sock
+    )
+
+    async def _serve() -> int:
+        await server.start()
+        status = await server.run_until_signalled()
+        stats = server.stats
+        print(
+            f"worker {index}: served {stats.decisions} decisions over "
+            f"{stats.connections} connections "
+            f"({stats.protocol_errors} protocol errors, "
+            f"{stats.truncated} truncated)",
+            flush=True,
+        )
+        return status
+
+    return asyncio.run(_serve())
+
+
+def _serve_prefork(args: argparse.Namespace, workers: int) -> int:
+    """Master side of multi-worker serving: bind, fork, supervise."""
+    import os
+
+    from .greylist.store import TripletStore
+    from .serve.prefork import PreforkSupervisor, bind_listening_sockets
+    from .serve.server import WallClock
+
+    backend = _serve_backend(args)
+    segment = backend.segment
+    sockets, host, port = bind_listening_sockets(
+        args.host, args.port, workers
+    )
+    # The smoke job and the benchmark parse this line to find an
+    # ephemeral port; keep the format stable.
+    print(f"listening on {host}:{port}", flush=True)
+    print(
+        f"prefork master pid {os.getpid()}: {workers} workers, "
+        f"{len(sockets)} listening socket(s), segment {segment}",
+        flush=True,
+    )
+
+    def worker_body(index: int, sock) -> int:
+        return _serve_worker(index, sock, args, segment)
+
+    maintenance = None
+    if args.clock == "wall":
+        # Background expiry: the master sweeps the shared table so
+        # workers never pay a stop-the-world scan.  Replay daemons skip
+        # it — their virtual clock lives in the workers.
+        master_store = TripletStore(WallClock(), backend=backend)
+        maintenance = master_store.sweep
+    supervisor = PreforkSupervisor(
+        worker_body, sockets, workers, maintenance=maintenance
+    )
+    try:
+        status = supervisor.run()
+    finally:
+        for sock in sockets:
+            sock.close()
+        backend.flush()
+        backend.close()
+    return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .serve.server import PolicyServer, ReplayClock, WallClock
+
+    _raise_fd_limit()
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    if workers > 1:
+        if args.store_backend != "shm":
+            print(
+                "error: --workers > 1 requires --store-backend shm "
+                "(workers share one memory segment; the other backends "
+                "are process-private or single-writer)",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_prefork(args, workers)
+
+    clock = ReplayClock() if args.clock == "replay" else WallClock()
+    chain = _build_serve_chain(args, clock, _serve_backend(args))
+    server = PolicyServer(chain, clock, host=args.host, port=args.port)
 
     async def _serve() -> int:
         host, port = await server.start()
@@ -404,11 +516,13 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
     per_connection = max(1, math.ceil(args.requests / args.connections))
     slices = tile_requests(trace.requests, args.connections, per_connection)
     stats = asyncio.run(run_load(args.host, args.port, slices))
+    tail = stats.latency_summary_ms
     print(
         f"{stats.decisions} decisions over {stats.connections} connections "
         f"in {stats.elapsed:.2f}s: {stats.decisions_per_sec:,.0f}/sec "
-        f"(p50 {stats.percentile_ms(0.50):.2f} ms, "
-        f"p99 {stats.percentile_ms(0.99):.2f} ms)"
+        f"(p50 {tail['latency_p50_ms']:.2f} ms, "
+        f"p95 {tail['latency_p95_ms']:.2f} ms, "
+        f"p99 {tail['latency_p99_ms']:.2f} ms)"
     )
     for verb in sorted(stats.verbs):
         print(f"  {verb}: {stats.verbs[verb]}")
@@ -443,8 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=_workers_arg,
         default=1,
         help=(
-            "worker processes for sharded experiments (0 = one per CPU); "
-            "results are identical for any value"
+            "worker processes for sharded experiments and the serve "
+            "daemon (0 = one per CPU); experiment results are identical "
+            "for any value, serve >1 requires --store-backend shm"
         ),
     )
     parser.add_argument(
@@ -631,6 +746,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="throttle sliding-window length in seconds",
+    )
+    p.add_argument(
+        "--shm-capacity",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help=(
+            "record capacity of the shared-memory triplet table "
+            "(shm backend only; default 16384 — the table spills to "
+            "fail-safe deferral when full, it never corrupts)"
+        ),
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -52,7 +52,7 @@ from .store import TripletEntry
 from .triplet import Triplet
 
 #: Backend names :func:`create_backend` understands (CLI choices).
-BACKEND_NAMES = ("memory", "sqlite", "journal")
+BACKEND_NAMES = ("memory", "sqlite", "journal", "shm")
 
 #: Header of a journal (op log) file; the snapshot half of the pair uses
 #: the ordinary persistence FORMAT_HEADER.
@@ -145,6 +145,49 @@ class TripletBackend(ABC):
     @abstractmethod
     def __len__(self) -> int:
         """Number of stored entries (expired-but-unswept ones included)."""
+
+    def record_attempt(
+        self,
+        triplet: Triplet,
+        now: float,
+        retry_window: float,
+        whitelist_lifetime: float,
+    ) -> Tuple[TripletEntry, Optional[str]]:
+        """One delivery attempt as a single compound operation.
+
+        Semantics (exactly :meth:`TripletStore.observe`'s historical
+        lookup → expire-if-stale → create-or-update → put sequence, so
+        journal op streams and snapshots stay bit-for-bit):
+
+        * a stored entry that :func:`entry_is_expired` is deleted first;
+          the second return value names what expired (``"confirmed"`` /
+          ``"unconfirmed"`` — the store's expiry-counter input) and the
+          attempt then creates a fresh entry;
+        * an absent key creates a fresh entry (``attempts=1``);
+        * a live entry gets ``attempts += 1`` and ``last_seen = now``.
+
+        Single-process backends inherit this default; backends shared
+        across processes (shm) override it to run the whole compound
+        under one lock, so concurrent workers never lose an attempt or
+        double-count an expiry.
+        """
+        expired: Optional[str] = None
+        entry = self.get(triplet)
+        if entry is not None and entry_is_expired(
+            entry, now, retry_window, whitelist_lifetime
+        ):
+            self.delete(triplet)
+            expired = "confirmed" if entry.passed else "unconfirmed"
+            entry = None
+        if entry is None:
+            entry = TripletEntry(
+                triplet=triplet, first_seen=now, last_seen=now
+            )
+        else:
+            entry.attempts += 1
+            entry.last_seen = now
+        self.put(entry)
+        return entry, expired
 
     def confirmed_count(self) -> int:
         """Number of entries with ``passed=True`` (no expiry check)."""
@@ -783,10 +826,10 @@ def create_backend(
     """Build a backend by registry name (``memory``/``sqlite``/``journal``).
 
     ``path`` is the on-disk location for the durable backends (ignored by
-    ``memory``; ``None`` means volatile operation for all three).
-    ``commit_every`` overrides the SQLite write-batch size (ignored by
-    the other backends); the serving CLI passes
-    :data:`SERVING_COMMIT_EVERY`.
+    ``memory``; ``None`` means volatile operation for all of them — for
+    ``shm``, a private segment destroyed on close).  ``commit_every``
+    overrides the SQLite write-batch size (ignored by the other
+    backends); the serving CLI passes :data:`SERVING_COMMIT_EVERY`.
     """
     if name == "memory":
         return MemoryBackend()
@@ -796,6 +839,10 @@ def create_backend(
         return SQLiteBackend(path)
     if name == "journal":
         return JournalBackend(path)
+    if name == "shm":
+        from .shm import SharedMemoryBackend
+
+        return SharedMemoryBackend(path)
     raise ValueError(
         f"unknown triplet-store backend {name!r}; expected one of "
         + ", ".join(BACKEND_NAMES)

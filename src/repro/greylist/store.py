@@ -86,29 +86,41 @@ class TripletStore:
     # Core access
     # ------------------------------------------------------------------
     def lookup(self, triplet: Triplet) -> Optional[TripletEntry]:
-        """Fetch the live entry for a triplet, expiring it if stale."""
+        """Fetch the live entry for a triplet, expiring it if stale.
+
+        The expiry is counted only when this store's delete actually
+        removed the row: under a shared backend a concurrent worker may
+        have expired (or refreshed) the entry between the get and the
+        delete, and its removal must be counted exactly once fleet-wide.
+        """
         entry = self.backend.get(triplet)
         if entry is None:
             return None
         if self._is_expired(entry):
-            self.backend.delete(triplet)
-            if entry.passed:
-                self.expired_confirmed += 1
-            else:
-                self.expired_unconfirmed += 1
+            if self.backend.delete(triplet):
+                if entry.passed:
+                    self.expired_confirmed += 1
+                else:
+                    self.expired_unconfirmed += 1
             return None
         return entry
 
     def observe(self, triplet: Triplet) -> TripletEntry:
-        """Record one delivery attempt, creating the entry if new."""
-        now = self.clock.now
-        entry = self.lookup(triplet)
-        if entry is None:
-            entry = TripletEntry(triplet=triplet, first_seen=now, last_seen=now)
-        else:
-            entry.attempts += 1
-            entry.last_seen = now
-        self.backend.put(entry)
+        """Record one delivery attempt, creating the entry if new.
+
+        Delegates to the backend's :meth:`record_attempt` compound op so
+        shared backends can run the whole lookup → expire-if-stale →
+        create-or-update sequence atomically; the single-process default
+        reproduces the historical sequence bit-for-bit.
+        """
+        entry, expired = self.backend.record_attempt(
+            triplet, self.clock.now, self.retry_window,
+            self.whitelist_lifetime,
+        )
+        if expired == "confirmed":
+            self.expired_confirmed += 1
+        elif expired == "unconfirmed":
+            self.expired_unconfirmed += 1
         return entry
 
     def mark_passed(self, triplet: Triplet) -> None:

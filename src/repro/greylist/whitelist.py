@@ -24,29 +24,37 @@ class Whitelist:
         self._networks: List[IPv4Network] = []
         self._sender_domains: Set[str] = set()
         self._helo_suffixes: List[str] = []
+        #: Mutation counter: bumped by every populating call so cached
+        #: verdict layers (the serving daemon's ``CachedWhitelist``) can
+        #: key on it and drop stale entries after a live update.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
     def add_address(self, address: IPv4Address) -> None:
         self._addresses.add(address)
+        self.generation += 1
 
     def add_network(self, network: IPv4Network) -> None:
         # Deduplicated but order-preserving: matching scans this list, so
         # repeated adds (or merges) must not inflate the per-lookup cost.
         if network not in self._networks:
             self._networks.append(network)
+        self.generation += 1
 
     def add_cidr(self, cidr: str) -> None:
         self.add_network(IPv4Network.parse(cidr))
 
     def add_sender_domain(self, domain: str) -> None:
         self._sender_domains.add(domain.strip().lower().rstrip("."))
+        self.generation += 1
 
     def add_helo_suffix(self, suffix: str) -> None:
         suffix = suffix.strip().lower().rstrip(".")
         if suffix not in self._helo_suffixes:
             self._helo_suffixes.append(suffix)
+        self.generation += 1
 
     def update(self, other: "Whitelist") -> None:
         """Merge another whitelist into this one.
@@ -54,6 +62,8 @@ class Whitelist:
         Idempotent: merging the same whitelist twice (or two lists with
         overlapping entries) leaves one copy of each network and HELO
         suffix, so repeated merges don't linearly inflate match cost.
+        (The generation counter still advances on a no-op merge — cached
+        verdicts are re-derived, never wrong.)
         """
         self._addresses |= other._addresses
         for network in other._networks:
@@ -61,6 +71,7 @@ class Whitelist:
         self._sender_domains |= other._sender_domains
         for suffix in other._helo_suffixes:
             self.add_helo_suffix(suffix)
+        self.generation += 1
 
     # ------------------------------------------------------------------
     # Matching

@@ -235,6 +235,20 @@ class LoadStats:
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
+    @property
+    def latency_summary_ms(self) -> Dict[str, float]:
+        """p50/p95/p99 of the sampled round trips, ready for reporting.
+
+        The benchmarks publish these as ``extra_info`` next to
+        ``decisions_per_sec`` so the regression gate can hold a tail
+        ceiling, not just an aggregate-throughput floor.
+        """
+        return {
+            "latency_p50_ms": self.percentile_ms(0.50),
+            "latency_p95_ms": self.percentile_ms(0.95),
+            "latency_p99_ms": self.percentile_ms(0.99),
+        }
+
 
 def tile_requests(
     requests: Sequence[TracedRequest],

@@ -91,12 +91,15 @@ MISS = object()
 
 
 class CachedWhitelist:
-    """Memoizing façade over a static :class:`Whitelist`.
+    """Memoizing façade over a :class:`Whitelist`.
 
     Same ``matches`` interface the greylist policy calls, but the
     (client, sender) verdict is served from the :class:`DecisionCache`
-    after the first scan.  Correct only while the underlying whitelist
-    is immutable — which is exactly the serving daemon's situation.
+    after the first scan.  The whitelist's ``generation`` counter is
+    part of every cache key, so a live update (an operator whitelisting
+    a provider mid-flight, another worker merging entries) immediately
+    stops stale verdicts from matching — superseded keys age out of the
+    LRU rather than being swept.
     """
 
     __slots__ = ("inner", "cache", "_fingerprint")
@@ -121,7 +124,9 @@ class CachedWhitelist:
             # HELO-qualified probes are not on the serving hot path;
             # bypass the cache rather than key on a third dimension.
             return self.inner.matches(client, sender, helo_name)
-        key = self._fingerprint + (client.value, sender)
+        key = self._fingerprint + (
+            self.inner.generation, client.value, sender,
+        )
         verdict = self.cache.get(key)
         if verdict is MISS:
             verdict = self.inner.matches(client, sender)

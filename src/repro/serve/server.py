@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import socket
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
@@ -127,6 +128,11 @@ class PolicyServer:
     host / port:
         Listen address; port 0 binds an ephemeral port (read it back
         from :attr:`address` — the CLI announces it on stdout).
+    sock:
+        A pre-bound listening socket to serve on instead of binding
+        ``host:port`` — the prefork path, where the supervisor binds
+        one SO_REUSEPORT socket per worker before forking so crashed
+        workers can be respawned onto the same accept queue.
     flush_interval:
         Period of the background backend flush (0 disables it).
     drain_grace:
@@ -142,11 +148,13 @@ class PolicyServer:
         max_request_bytes: int = MAX_REQUEST_BYTES,
         flush_interval: float = FLUSH_INTERVAL,
         drain_grace: float = DRAIN_GRACE,
+        sock: Optional[socket.socket] = None,
     ) -> None:
         self.chain = chain
         self.clock = clock
         self.host = host
         self.port = port
+        self._sock = sock
         self.max_request_bytes = max_request_bytes
         self.flush_interval = flush_interval
         self.drain_grace = drain_grace
@@ -168,9 +176,14 @@ class PolicyServer:
         # The asyncio default backlog (100) drops connects under the 10k
         # concurrent-connection benchmark's opening wave; the kernel caps
         # the effective value at net.core.somaxconn.
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port, backlog=8192
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._sock, backlog=8192
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port, backlog=8192
+            )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         if self.flush_interval > 0:

@@ -159,10 +159,13 @@ class TestBackendConformance:
 
 class TestFactory:
     def test_names_registry(self):
-        assert BACKEND_NAMES == ("memory", "sqlite", "journal")
+        from repro.greylist.shm import SharedMemoryBackend
+
+        assert BACKEND_NAMES == ("memory", "sqlite", "journal", "shm")
         assert isinstance(create_backend("memory"), MemoryBackend)
         assert isinstance(create_backend("sqlite"), SQLiteBackend)
         assert isinstance(create_backend("journal"), JournalBackend)
+        assert isinstance(create_backend("shm"), SharedMemoryBackend)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown triplet-store"):

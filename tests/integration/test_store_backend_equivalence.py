@@ -285,3 +285,239 @@ def _drive_second_half(policy, clock, events, split, seed=97, sweep_every=50):
                 clock.advance_by(37.5)
             if step % sweep_every == sweep_every - 1:
                 policy.store.sweep()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory backend: sequential consistency under real concurrency
+# ----------------------------------------------------------------------
+# POSIX record locks are per-process, so these tests fork real worker
+# processes, each attaching its own backend instance to one segment —
+# the exact topology of the prefork serving daemon.
+
+def _worker_observe_all(segment, keys, now, barrier, out):
+    """One 'policy worker': observe every triplet once at time ``now``."""
+    from repro.greylist.shm import SharedMemoryBackend
+    from repro.greylist.triplet import Triplet
+
+    backend = SharedMemoryBackend(segment=segment)
+    clock = Clock(start=now)
+    store = TripletStore(clock, backend=backend)
+    try:
+        barrier.wait()
+        attempts = 0
+        for i in range(keys):
+            entry = store.observe(
+                Triplet(
+                    IPv4Address.parse(f"198.51.101.{i + 1}"),
+                    f"w{i}@x.example",
+                    "r@victim.example",
+                )
+            )
+            attempts += entry.attempts
+        out.put((store.expired_unconfirmed, store.expired_confirmed))
+    finally:
+        store.close()
+
+
+def _worker_lookup_all(segment, keys, now, barrier, out):
+    """One worker racing lazy expiry through ``lookup``."""
+    from repro.greylist.shm import SharedMemoryBackend
+    from repro.greylist.triplet import Triplet
+
+    backend = SharedMemoryBackend(segment=segment)
+    clock = Clock(start=now)
+    store = TripletStore(clock, backend=backend)
+    try:
+        barrier.wait()
+        for i in range(keys):
+            store.lookup(
+                Triplet(
+                    IPv4Address.parse(f"198.51.101.{i + 1}"),
+                    f"w{i}@x.example",
+                    "r@victim.example",
+                )
+            )
+        out.put((store.expired_unconfirmed, store.expired_confirmed))
+    finally:
+        store.close()
+
+
+class TestSharedMemoryConcurrency:
+    """The 8-worker contract: no lost writes, no resurrection, counters sum."""
+
+    WORKERS = 8
+    KEYS = 24
+
+    def _seed(self, backend, passed=False):
+        from repro.greylist.store import TripletEntry
+        from repro.greylist.triplet import Triplet
+
+        for i in range(self.KEYS):
+            backend.put(
+                TripletEntry(
+                    triplet=Triplet(
+                        IPv4Address.parse(f"198.51.101.{i + 1}"),
+                        f"w{i}@x.example",
+                        "r@victim.example",
+                    ),
+                    first_seen=0.0,
+                    last_seen=0.0,
+                    attempts=3,
+                    passed=passed,
+                    passed_at=0.0 if passed else None,
+                )
+            )
+
+    def _fan_out(self, target, segment, now):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(self.WORKERS)
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=target, args=(segment, self.KEYS, now, barrier, out)
+            )
+            for _ in range(self.WORKERS)
+        ]
+        for proc in procs:
+            proc.start()
+        counters = [out.get(timeout=60) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        return counters
+
+    def test_observe_counters_conserved_and_no_resurrection(self):
+        from repro.greylist.shm import SharedMemoryBackend
+
+        backend = SharedMemoryBackend(capacity=2048)
+        try:
+            self._seed(backend, passed=False)
+            now = 3 * DAY  # past retry_window: every seed is expired
+            counters = self._fan_out(_worker_observe_all, backend.segment, now)
+            # Each stale triplet's expiry was observed by exactly one
+            # worker fleet-wide; everyone else saw the fresh entry.
+            assert sum(u for u, _ in counters) == self.KEYS
+            assert sum(c for _, c in counters) == 0
+            entries = list(backend.scan())
+            assert len(entries) == self.KEYS
+            for entry in entries:
+                assert entry.first_seen == now    # no resurrection
+                assert not entry.passed
+                assert entry.attempts == self.WORKERS  # no lost attempts
+            assert backend.spill_count == 0
+        finally:
+            backend.close()
+
+    def test_confirmed_expiry_counted_once(self):
+        from repro.greylist.shm import SharedMemoryBackend
+
+        backend = SharedMemoryBackend(capacity=2048)
+        try:
+            self._seed(backend, passed=True)
+            now = 36 * DAY  # past whitelist_lifetime for confirmed seeds
+            counters = self._fan_out(_worker_observe_all, backend.segment, now)
+            assert sum(c for _, c in counters) == self.KEYS
+            assert sum(u for u, _ in counters) == 0
+            for entry in backend.scan():
+                assert not entry.passed  # confirmation did not leak through
+                assert entry.first_seen == now
+        finally:
+            backend.close()
+
+    def test_lookup_expiry_counted_once_fleet_wide(self):
+        from repro.greylist.shm import SharedMemoryBackend
+
+        backend = SharedMemoryBackend(capacity=2048)
+        try:
+            self._seed(backend, passed=False)
+            counters = self._fan_out(
+                _worker_lookup_all, backend.segment, 3 * DAY
+            )
+            assert sum(u + c for u, c in counters) == self.KEYS
+            assert len(backend) == 0  # lookup expires, never recreates
+        finally:
+            backend.close()
+
+
+class TestSharedMemoryDrain:
+    """SIGTERM to the prefork master loses no acknowledged write."""
+
+    def test_zero_lost_acknowledged_writes_across_drain(self, tmp_path):
+        import os
+        import signal
+        import socket as socket_module
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        store_path = tmp_path / "drain.shm"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(repro.__file__).resolve().parents[1])
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro",
+                "--workers", "2",
+                "--store-backend", "shm",
+                "--store-path", str(store_path),
+                "serve", "--clock", "replay",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        writes = 40
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("listening on "), line
+            host, _, port = line.rpartition(" ")[2].partition(":")
+            acknowledged = 0
+            for i in range(writes):
+                sock = socket_module.create_connection(
+                    (host, int(port)), timeout=10
+                )
+                try:
+                    sock.sendall(
+                        (
+                            "request=smtpd_access_policy\n"
+                            f"client_address=198.51.102.{i + 1}\n"
+                            f"sender=d{i}@x.example\n"
+                            "recipient=r@victim.example\n"
+                            f"stamp={float(i)}\n\n"
+                        ).encode()
+                    )
+                    data = b""
+                    while b"\n\n" not in data:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                    if data.startswith(b"action="):
+                        acknowledged += 1
+                finally:
+                    sock.close()
+            assert acknowledged == writes
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            status = proc.wait(timeout=30)
+            output = proc.stdout.read()
+            proc.stdout.close()
+        assert status == 0, output
+
+        # Reattach the persisted segment cold: every acknowledged
+        # decision's triplet write must still be there.
+        from repro.greylist.shm import SharedMemoryBackend
+
+        reopened = SharedMemoryBackend(store_path)
+        try:
+            assert len(list(reopened.scan())) == writes
+        finally:
+            reopened.unlink()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.greylist.policy import GreylistAction, GreylistPolicy
 from repro.greylist.whitelist import Whitelist
-from repro.net.address import IPv4Address
+from repro.net.address import IPv4Address, IPv4Network
 from repro.serve.plugins import (
     MISS,
     CachedWhitelist,
@@ -104,6 +104,53 @@ class TestCachedWhitelist:
         inner = Whitelist()
         cached = CachedWhitelist(inner, DecisionCache(), ())
         assert cached.add_cidr == inner.add_cidr
+
+    def test_update_invalidates_cached_negative_verdict(self):
+        """The shared-state regression guard: whitelisting a client that
+        already has a cached "not whitelisted" verdict must take effect
+        on the very next probe, not whenever the LRU happens to evict."""
+        inner = Whitelist()
+        cached = CachedWhitelist(inner, DecisionCache(), ("fp",))
+        client = IPv4Address.parse("10.1.2.3")
+        assert cached.matches(client, "a@b.example") is False
+        assert cached.matches(client, "a@b.example") is False  # cached
+        inner.add_cidr("10.0.0.0/8")
+        assert cached.matches(client, "a@b.example") is True
+
+    def test_update_invalidates_cached_positive_verdict(self):
+        # The counter also advances when entries are merged *in*, so a
+        # stale True can never outlive the list it was derived from.
+        inner = Whitelist()
+        inner.add_sender_domain("b.example")
+        cached = CachedWhitelist(inner, DecisionCache(), ("fp",))
+        client = IPv4Address.parse("10.1.2.3")
+        assert cached.matches(client, "a@b.example") is True
+        fresh = Whitelist()
+        fresh.add_cidr("192.0.2.0/24")
+        generation_before = inner.generation
+        inner.update(fresh)
+        assert inner.generation > generation_before
+        # Same verdict, but re-derived from the merged list (a miss).
+        misses_before = cached.cache.misses
+        assert cached.matches(client, "a@b.example") is True
+        assert cached.cache.misses == misses_before + 1
+
+    def test_every_mutator_bumps_generation(self):
+        inner = Whitelist()
+        observed = [inner.generation]
+        inner.add_address(IPv4Address.parse("10.1.2.3"))
+        observed.append(inner.generation)
+        inner.add_network(IPv4Network.parse("10.0.0.0/8"))
+        observed.append(inner.generation)
+        inner.add_cidr("192.0.2.0/24")
+        observed.append(inner.generation)
+        inner.add_sender_domain("b.example")
+        observed.append(inner.generation)
+        inner.add_helo_suffix("mail.example")
+        observed.append(inner.generation)
+        inner.update(Whitelist())
+        observed.append(inner.generation)
+        assert observed == sorted(set(observed)), observed
 
 
 class TestGreylistingPlugin:
